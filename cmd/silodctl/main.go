@@ -1,0 +1,143 @@
+// Command silodctl drives a running silodd deployment.
+//
+//	silodctl -sched http://127.0.0.1:7071 submit -job j1 -model ResNet-50 \
+//	         -dataset imagenet1k -dataset-size 143GB -gpus 1 -epochs 10
+//	silodctl -sched http://127.0.0.1:7071 schedule
+//	silodctl -sched http://127.0.0.1:7071 jobs
+//	silodctl -dm http://127.0.0.1:7070 stats -job j1
+//	silodctl -dm http://127.0.0.1:7070 snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/controlplane"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "silodctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("silodctl", flag.ContinueOnError)
+	schedURL := fs.String("sched", "http://127.0.0.1:7071", "scheduler base URL")
+	dmURL := fs.String("dm", "http://127.0.0.1:7070", "data manager base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: silodctl [flags] submit|schedule|jobs|stats|snapshot|annotations")
+	}
+	sched := controlplane.NewClient(*schedURL)
+	dm := controlplane.NewClient(*dmURL)
+	switch rest[0] {
+	case "submit":
+		return submit(sched, rest[1:])
+	case "schedule":
+		if err := sched.TriggerSchedule(); err != nil {
+			return err
+		}
+		fmt.Println("scheduled")
+		return nil
+	case "jobs":
+		jobs, err := sched.ListJobs()
+		if err != nil {
+			return err
+		}
+		return printJSON(jobs)
+	case "annotations":
+		ann, err := sched.Annotations()
+		if err != nil {
+			return err
+		}
+		return printJSON(ann)
+	case "stats":
+		sub := flag.NewFlagSet("stats", flag.ContinueOnError)
+		job := sub.String("job", "", "job ID")
+		if err := sub.Parse(rest[1:]); err != nil {
+			return err
+		}
+		st, err := dm.Stats(*job)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "snapshot":
+		snap, err := dm.Snapshot()
+		if err != nil {
+			return err
+		}
+		return printJSON(snap)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+// submit registers a job with the scheduler, deriving the performance
+// profile from the model catalog.
+func submit(sched *controlplane.Client, args []string) error {
+	sub := flag.NewFlagSet("submit", flag.ContinueOnError)
+	job := sub.String("job", "", "job ID")
+	model := sub.String("model", "ResNet-50", "model name from the catalog")
+	ds := sub.String("dataset", "", "dataset name")
+	dsSize := sub.String("dataset-size", "143GB", "dataset size")
+	gpus := sub.Int("gpus", 1, "gang size")
+	epochs := sub.Float64("epochs", 10, "epochs to train")
+	if err := sub.Parse(args); err != nil {
+		return err
+	}
+	m, err := workload.ModelByName(*model)
+	if err != nil {
+		return err
+	}
+	size, err := unit.ParseBytes(*dsSize)
+	if err != nil {
+		return err
+	}
+	spec := workload.JobSpec{
+		ID:      *job,
+		Model:   m,
+		Dataset: workload.Dataset{Name: *ds, Size: size},
+		NumGPUs: *gpus,
+	}
+	spec.NumSteps = int64(*epochs * float64(size) / float64(spec.StepBytesTotal()))
+	if spec.NumSteps < 1 {
+		spec.NumSteps = 1
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	req := controlplane.SubmitJobRequest{
+		JobID:           spec.ID,
+		Model:           m.Name,
+		Dataset:         spec.Dataset.Name,
+		DatasetSize:     spec.Dataset.Size,
+		NumGPUs:         spec.NumGPUs,
+		IdealThroughput: spec.IdealThroughput(),
+		TotalBytes:      spec.TotalBytes(),
+	}
+	if err := sched.SubmitJob(req); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s on %s, %d GPUs, ideal %s)\n",
+		spec.ID, m.Name, spec.Dataset.Name, spec.NumGPUs, spec.IdealThroughput())
+	return nil
+}
+
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

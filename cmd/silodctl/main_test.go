@@ -1,0 +1,69 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/datamgr"
+	"repro/internal/policy"
+	"repro/internal/unit"
+)
+
+// stack boots an in-process control plane and returns the service URLs.
+func stack(t *testing.T) (schedURL, dmURL string) {
+	t.Helper()
+	mgr := datamgr.New(unit.TiB(1), unit.MBpsOf(500), 1, nil)
+	dmSrv := httptest.NewServer(controlplane.NewDataManagerServer(mgr))
+	t.Cleanup(dmSrv.Close)
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := controlplane.NewSchedulerServer(
+		core.Cluster{GPUs: 8, Cache: unit.TiB(1), RemoteIO: unit.MBpsOf(500)},
+		pol, controlplane.NewClient(dmSrv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedSrv := httptest.NewServer(sched)
+	t.Cleanup(schedSrv.Close)
+	return schedSrv.URL, dmSrv.URL
+}
+
+func TestSubmitScheduleJobsStats(t *testing.T) {
+	schedURL, dmURL := stack(t)
+	base := []string{"-sched", schedURL, "-dm", dmURL}
+	cmds := [][]string{
+		append(base, "submit", "-job", "j1", "-model", "ResNet-50",
+			"-dataset", "imagenet1k", "-dataset-size", "143GB", "-gpus", "1", "-epochs", "3"),
+		append(base, "schedule"),
+		append(base, "jobs"),
+		append(base, "stats", "-job", "j1"),
+		append(base, "annotations"),
+		append(base, "snapshot"),
+	}
+	for _, args := range cmds {
+		if err := run(args); err != nil {
+			t.Fatalf("silodctl %v: %v", args[len(base):], err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	schedURL, dmURL := stack(t)
+	base := []string{"-sched", schedURL, "-dm", dmURL}
+	if err := run(base); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run(append(base, "frobnicate")); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(append(base, "submit", "-job", "x", "-model", "NotAModel", "-dataset", "d")); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run(append(base, "stats", "-job", "ghost")); err == nil {
+		t.Error("stats for unknown job accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command silodd runs the SiloD control plane: the data-manager service
+// (cache + remote IO enforcement, Table 3 APIs) and the scheduler
+// service (joint compute/storage allocation) in one process.
+//
+//	silodd -gpus 96 -cache 24TB -remote 1GB -scheduler Gavel \
+//	       -dm-addr :7070 -sched-addr :7071 -interval 10s
+//
+// Drive it with silodctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/datamgr"
+	"repro/internal/policy"
+	"repro/internal/unit"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "silodd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("silodd", flag.ContinueOnError)
+	gpus := fs.Int("gpus", 96, "cluster GPUs")
+	cacheStr := fs.String("cache", "24TB", "cluster cache capacity")
+	remoteStr := fs.String("remote", "1GB", "remote IO capacity (bytes/sec)")
+	scheduler := fs.String("scheduler", "FIFO", "scheduling policy: FIFO | SJF | Gavel")
+	system := fs.String("system", "SiloD", "cache system: SiloD | Alluxio | CoorDL | Quiver")
+	dmAddr := fs.String("dm-addr", ":7070", "data manager listen address")
+	schedAddr := fs.String("sched-addr", ":7071", "scheduler listen address")
+	interval := fs.Duration("interval", 0, "scheduling loop period (0 = on demand via POST /v1/schedule)")
+	seed := fs.Int64("seed", 42, "seed for stochastic policy elements")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cacheBytes, err := unit.ParseBytes(*cacheStr)
+	if err != nil {
+		return err
+	}
+	remoteBytes, err := unit.ParseBytes(strings.TrimSuffix(*remoteStr, "/s"))
+	if err != nil {
+		return err
+	}
+	k, err := policy.ParseSchedulerKind(*scheduler)
+	if err != nil {
+		return err
+	}
+	cs, err := policy.ParseCacheSystem(*system)
+	if err != nil {
+		return err
+	}
+	pol, err := policy.Build(k, cs, *seed)
+	if err != nil {
+		return err
+	}
+
+	mgr := datamgr.New(cacheBytes, unit.Bandwidth(remoteBytes), *seed, nil)
+	dmSrv := controlplane.NewDataManagerServer(mgr)
+	cluster := core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)}
+	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr})
+	if err != nil {
+		return err
+	}
+
+	errCh := make(chan error, 2)
+	go func() {
+		log.Printf("silodd: data manager listening on %s", *dmAddr)
+		errCh <- http.ListenAndServe(*dmAddr, dmSrv)
+	}()
+	go func() {
+		log.Printf("silodd: scheduler (%s on %s) listening on %s", k, cs, *schedAddr)
+		errCh <- http.ListenAndServe(*schedAddr, sched)
+	}()
+	if *interval > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go sched.RunLoop(*interval, stop, func(err error) {
+			log.Printf("silodd: scheduling round failed: %v", err)
+		})
+	}
+	return <-errCh
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// The daemon's serving loop blocks forever, so tests exercise the
+// configuration path, which must reject bad flags before binding.
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-scheduler", "Bogus"},
+		{"-system", "Bogus"},
+		{"-cache", "notasize"},
+		{"-remote", "alsonotasize"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// capture runs the CLI with stdout redirected to a temp file.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestListCommand(t *testing.T) {
+	out := capture(t, "-list")
+	for _, id := range []string{"fig4", "fig12", "table6", "estimator", "static"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestStaticExperiment(t *testing.T) {
+	out := capture(t, "-exp", "static")
+	for _, want := range []string{"Table 1", "Figure 6", "ResNet-50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("static output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	f, _ := os.CreateTemp(t.TempDir(), "out")
+	defer f.Close()
+	if err := run([]string{"-exp", "nope"}, f); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTraceMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(5, 12, unit.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTrace(f, jobs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := capture(t, "-trace", path, "-scheduler", "SJF", "-system", "SiloD",
+		"-gpus", "16", "-cache", "4TB", "-remote", "400MB")
+	for _, want := range []string{"SJF on SiloD", "avg JCT", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace mode output missing %q:\n%s", want, out)
+		}
+	}
+	// Bad flags are rejected.
+	tmp, _ := os.CreateTemp(dir, "out")
+	defer tmp.Close()
+	if err := run([]string{"-trace", path, "-scheduler", "Bogus"}, tmp); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+	if err := run([]string{"-trace", "/does/not/exist"}, tmp); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestTraceModeCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(5, 8, unit.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Create(path)
+	if err := workload.WriteTrace(f, jobs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	csvDir := filepath.Join(dir, "csv")
+	out := capture(t, "-trace", path, "-gpus", "16", "-cache", "4TB", "-remote", "400MB", "-csv", csvDir)
+	if !strings.Contains(out, "timeline CSVs written") {
+		t.Errorf("missing CSV confirmation:\n%s", out)
+	}
+	for _, name := range []string{"throughput", "remoteio", "fairness"} {
+		data, err := os.ReadFile(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s.csv: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "series,time,value") {
+			t.Errorf("%s.csv lacks header", name)
+		}
+	}
+}
+
+func TestQuickExperimentsRunEndToEnd(t *testing.T) {
+	// Every cheap experiment must run through the CLI path; the heavy
+	// ones are covered by the experiments package's own tests.
+	for _, id := range []string{"fig4", "estimator"} {
+		out := capture(t, "-exp", id, "-quick")
+		if len(out) == 0 {
+			t.Errorf("-exp %s produced no output", id)
+		}
+	}
+}

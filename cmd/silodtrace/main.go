@@ -1,0 +1,122 @@
+// Command silodtrace generates synthetic job traces with the paper's
+// workload shape (heavy-tailed durations, mixed gang sizes, per-job
+// private datasets) as JSON lines for silodsim, and summarizes existing
+// traces.
+//
+//	silodtrace -jobs 480 -window 24h -seed 42 -share 0.25 > trace.jsonl
+//	silodtrace -analyze trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "silodtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("silodtrace", flag.ContinueOnError)
+	jobs := fs.Int("jobs", 480, "number of jobs")
+	window := fs.Duration("window", 24*time.Hour, "arrival window")
+	seed := fs.Int64("seed", 42, "random seed")
+	share := fs.Float64("share", 0, "fraction of jobs drawing from the shared dataset pool [0,1]")
+	speed := fs.Float64("speed", 1, "GPU speed scale (1 = V100)")
+	median := fs.Duration("median", 40*time.Minute, "median ideal job duration")
+	sigma := fs.Float64("sigma", 2.0, "log-normal sigma of job durations")
+	out := fs.String("o", "", "output path (default stdout)")
+	analyze := fs.String("analyze", "", "summarize an existing JSONL trace instead of generating one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *analyze != "" {
+		return analyzeTrace(*analyze)
+	}
+	cfg := workload.DefaultTraceConfig(*seed, *jobs, unit.Duration((*window).Seconds()))
+	cfg.ShareFraction = *share
+	cfg.SpeedScale = *speed
+	cfg.MedianDuration = unit.Duration((*median).Seconds())
+	cfg.DurationSigma = *sigma
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "silodtrace: wrote %d jobs (total GPU demand %.0f GPU-hours)\n",
+		len(trace), workload.TotalGPUDemand(trace)/3600)
+	return nil
+}
+
+// analyzeTrace prints the distributional summary of a trace: the
+// quantities that determine how hard the trace is for a cache/scheduler
+// co-design.
+func analyzeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	jobs, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	durations := make([]float64, 0, len(jobs))
+	gpuCounts := map[int]int{}
+	datasets := map[string]unit.Bytes{}
+	var totalGPUHours, totalBytes, weightedEff float64
+	for _, j := range jobs {
+		durations = append(durations, j.IdealDuration().Minutes())
+		gpuCounts[j.NumGPUs]++
+		datasets[j.Dataset.Name] = j.Dataset.Size
+		totalGPUHours += float64(j.NumGPUs) * float64(j.IdealDuration()) / 3600
+		totalBytes += float64(j.TotalBytes())
+		weightedEff += j.CacheEfficiency() * float64(j.TotalBytes())
+	}
+	var dsBytes unit.Bytes
+	for _, s := range datasets {
+		dsBytes += s
+	}
+	window := jobs[len(jobs)-1].Submit.Sub(jobs[0].Submit)
+	fmt.Printf("jobs:              %d over %.1f h\n", len(jobs), window.Minutes()/60)
+	fmt.Printf("GPU demand:        %.0f GPU-hours\n", totalGPUHours)
+	fmt.Printf("gang mix:          ")
+	for _, g := range []int{1, 2, 4, 8} {
+		if n := gpuCounts[g]; n > 0 {
+			fmt.Printf("%dx:%d  ", g, n)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("ideal duration:    p10=%.0f p50=%.0f p90=%.0f p99=%.0f min\n",
+		stats.Percentile(durations, 10), stats.Percentile(durations, 50),
+		stats.Percentile(durations, 90), stats.Percentile(durations, 99))
+	fmt.Printf("distinct datasets: %d (%.1f TB total)\n", len(datasets), float64(dsBytes)/float64(unit.TB))
+	fmt.Printf("total reads:       %.1f TB\n", totalBytes/float64(unit.TB))
+	if totalBytes > 0 {
+		fmt.Printf("mean cache eff.:   %.3f MB/s per GB (read-weighted)\n", weightedEff/totalBytes)
+	}
+	return nil
+}

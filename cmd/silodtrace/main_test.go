@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestGenerateTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-jobs", "25", "-window", "2h", "-seed", "9", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 25 {
+		t.Fatalf("wrote %d jobs, want 25", len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateWithSharingAndSpeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-jobs", "40", "-window", "1h", "-share", "1", "-speed", "2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	jobs, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, j := range jobs {
+		names[j.Dataset.Name] = true
+		if j.SpeedScale != 2 {
+			t.Fatalf("speed scale not propagated: %v", j.SpeedScale)
+		}
+	}
+	if len(names) >= len(jobs) {
+		t.Error("full sharing produced all-distinct datasets")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-jobs", "0"}); err == nil {
+		t.Error("zero jobs accepted")
+	}
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-jobs", "30", "-window", "2h", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-analyze", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-analyze", "/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "SiloD: A
+// Co-design of Caching and Scheduling for Deep Learning Clusters"
+// (EuroSys 2023).
+//
+// The library lives under internal/: the scheduling framework (core),
+// the closed-form performance estimator (estimator), the scheduling
+// policies and baseline cache systems (policy), the cache and remote-IO
+// substrates (cache, remoteio, datamgr), the event-driven cluster
+// simulator (sim), the concurrent scaled-time testbed (testbed), the
+// HTTP control plane (controlplane), and one reproduction per paper
+// table/figure (experiments). See README.md for the tour and DESIGN.md
+// for the system inventory.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,45 @@
+// Microbench runs the paper's 8-V100 micro-benchmark (§7.1.1) across
+// all four cache systems and both simulation engines, plus the
+// concurrent testbed, and prints Table 6 and the Figure 9 throughput
+// timeline.
+//
+//	go run ./examples/microbench          # simulators only (seconds)
+//	go run ./examples/microbench -testbed # also the wall-clock testbed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	withTestbed := flag.Bool("testbed", false, "also run the concurrent scaled-time testbed")
+	flag.Parse()
+
+	jobs, err := experiments.MicroBenchJobs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Workload (four 1-GPU image jobs + one 4-GPU BERT job):")
+	for _, j := range jobs {
+		fmt.Printf("  %-8s %-15s on %-16s %d GPU(s), %5.2f epochs, ideal %s\n",
+			j.ID, j.Model.Name, j.Dataset.Name, j.NumGPUs, j.Epochs(), j.IdealThroughput())
+	}
+	cl := experiments.MicroCluster()
+	fmt.Printf("Cluster: %d GPUs, %v cache, %v remote IO\n\n", cl.GPUs, cl.Cache, cl.RemoteIO)
+
+	r, err := experiments.Table6(experiments.Table6Options{
+		Options:     experiments.Options{Seed: 42},
+		WithTestbed: *withTestbed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Table().Render(os.Stdout)
+	fmt.Println()
+	fmt.Print(r.Figure9(10))
+}

@@ -1,0 +1,59 @@
+// Sweep demonstrates building a custom parameter study on the public
+// API: it sweeps the remote egress limit for one workload and prints
+// how each cache system's average JCT responds — a custom-parameter
+// version of the paper's Figure 14a.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A 32-GPU slice of the cluster with a contended trace.
+	cfg := workload.DefaultTraceConfig(7, 120, 6*unit.Hour)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := report.NewTable("Remote egress sweep: avg JCT (minutes), 32 GPUs, 8 TB cache",
+		"Egress", "SiloD", "Alluxio", "Quiver", "Alluxio/SiloD")
+	for _, mbps := range []float64{100, 200, 400, 800, 1600, 3200} {
+		cl := core.Cluster{GPUs: 32, Cache: unit.TiB(8), RemoteIO: unit.MBpsOf(mbps)}
+		jct := map[policy.CacheSystem]float64{}
+		for _, cs := range []policy.CacheSystem{policy.SiloD, policy.Alluxio, policy.Quiver} {
+			pol, err := policy.Build(policy.FIFOKind, cs, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Cluster: cl, Policy: pol, System: cs, Engine: sim.Fluid, Seed: 7,
+			}, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jct[cs] = res.AvgJCT().Minutes()
+		}
+		table.AddRow(
+			unit.MBpsOf(mbps).String(),
+			fmt.Sprintf("%.0f", jct[policy.SiloD]),
+			fmt.Sprintf("%.0f", jct[policy.Alluxio]),
+			fmt.Sprintf("%.0f", jct[policy.Quiver]),
+			fmt.Sprintf("%.2fx", jct[policy.Alluxio]/jct[policy.SiloD]),
+		)
+	}
+	table.Render(os.Stdout)
+	fmt.Println("\nAs egress grows, caching stops mattering and the systems converge —")
+	fmt.Println("the co-design pays exactly where remote IO is the bottleneck.")
+}

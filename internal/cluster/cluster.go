@@ -1,0 +1,201 @@
+// Package cluster models the physical GPU cluster: servers with GPU
+// slots and local cache disks, gang placement, and the storage-fabric
+// throughput model behind Figure 3 — which shows that a distributed
+// cache can serve peer reads at local-disk speed, justifying the flat
+// cache-pool abstraction the scheduler and simulator use.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/unit"
+)
+
+// Server is one GPU server.
+type Server struct {
+	ID        int
+	GPUs      int
+	FreeGPUs  int
+	CacheDisk unit.Bytes
+	jobs      map[string]int // jobID -> GPUs placed here
+}
+
+// Cluster is a set of servers.
+type Cluster struct {
+	servers []*Server
+}
+
+// New builds a homogeneous cluster of n servers with gpusPerServer GPUs
+// and cachePerServer of local cache disk each.
+func New(n, gpusPerServer int, cachePerServer unit.Bytes) (*Cluster, error) {
+	if n <= 0 || gpusPerServer <= 0 {
+		return nil, fmt.Errorf("cluster: invalid geometry %d servers x %d GPUs", n, gpusPerServer)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.servers = append(c.servers, &Server{
+			ID: i, GPUs: gpusPerServer, FreeGPUs: gpusPerServer,
+			CacheDisk: cachePerServer, jobs: make(map[string]int),
+		})
+	}
+	return c, nil
+}
+
+// TotalGPUs reports the cluster's GPU count.
+func (c *Cluster) TotalGPUs() int {
+	var s int
+	for _, srv := range c.servers {
+		s += srv.GPUs
+	}
+	return s
+}
+
+// FreeGPUs reports unallocated GPUs.
+func (c *Cluster) FreeGPUs() int {
+	var s int
+	for _, srv := range c.servers {
+		s += srv.FreeGPUs
+	}
+	return s
+}
+
+// TotalCache reports the consolidated cache capacity (the distributed
+// cache pools all servers' local disks together, §2.1).
+func (c *Cluster) TotalCache() unit.Bytes {
+	var s unit.Bytes
+	for _, srv := range c.servers {
+		s += srv.CacheDisk
+	}
+	return s
+}
+
+// Servers returns the servers in ID order.
+func (c *Cluster) Servers() []*Server {
+	out := append([]*Server(nil), c.servers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PlacementStrategy selects servers for a gang.
+type PlacementStrategy int
+
+// Placement strategies: Pack fills the fullest servers first (gang
+// locality), Spread the emptiest first (load balance).
+const (
+	Pack PlacementStrategy = iota
+	Spread
+)
+
+// Place allocates gpus GPUs for jobID, preferring whole-server fits.
+// It returns the per-server placement or an error when the gang cannot
+// fit. Gangs may span servers (distributed data-parallel training).
+func (c *Cluster) Place(jobID string, gpus int, strat PlacementStrategy) (map[int]int, error) {
+	if gpus <= 0 {
+		return nil, fmt.Errorf("cluster: placing %d GPUs for %s", gpus, jobID)
+	}
+	if gpus > c.FreeGPUs() {
+		return nil, fmt.Errorf("cluster: %d GPUs requested for %s, %d free", gpus, jobID, c.FreeGPUs())
+	}
+	order := c.Servers()
+	sort.SliceStable(order, func(i, j int) bool {
+		if strat == Pack {
+			if order[i].FreeGPUs != order[j].FreeGPUs {
+				return order[i].FreeGPUs < order[j].FreeGPUs
+			}
+		} else {
+			if order[i].FreeGPUs != order[j].FreeGPUs {
+				return order[i].FreeGPUs > order[j].FreeGPUs
+			}
+		}
+		return order[i].ID < order[j].ID
+	})
+	// Prefer a single server that fits the whole gang.
+	placement := make(map[int]int)
+	for _, srv := range order {
+		if srv.FreeGPUs >= gpus {
+			srv.FreeGPUs -= gpus
+			srv.jobs[jobID] += gpus
+			placement[srv.ID] = gpus
+			return placement, nil
+		}
+	}
+	// Otherwise span servers.
+	left := gpus
+	for _, srv := range order {
+		if left == 0 {
+			break
+		}
+		take := srv.FreeGPUs
+		if take > left {
+			take = left
+		}
+		if take == 0 {
+			continue
+		}
+		srv.FreeGPUs -= take
+		srv.jobs[jobID] += take
+		placement[srv.ID] = take
+		left -= take
+	}
+	if left > 0 {
+		// Roll back (cannot happen given the FreeGPUs precheck, but be
+		// defensive against concurrent misuse).
+		c.Release(jobID)
+		return nil, fmt.Errorf("cluster: failed to place %d GPUs for %s", gpus, jobID)
+	}
+	return placement, nil
+}
+
+// Release frees all GPUs held by jobID.
+func (c *Cluster) Release(jobID string) {
+	for _, srv := range c.servers {
+		if g, ok := srv.jobs[jobID]; ok {
+			srv.FreeGPUs += g
+			delete(srv.jobs, jobID)
+		}
+	}
+}
+
+// FabricModel parameterizes the Figure 3 storage-fabric experiment: n
+// servers each running jobs with aggregate IO demand DemandPerServer,
+// datasets spread evenly across all servers' caches, so each server
+// reads 1/n of its data locally and (n-1)/n from peers over the storage
+// fabric.
+type FabricModel struct {
+	DemandPerServer unit.Bandwidth // e.g. 1923 MB/s (ResNet-50 on 8 A100s)
+	LocalDiskBW     unit.Bandwidth // local NVMe read bandwidth per server
+	FabricNICBW     unit.Bandwidth // per-server storage-fabric bandwidth
+}
+
+// Throughput returns the aggregate achievable read throughput with n
+// servers, and the same under an idealized no-data-bottleneck (linear)
+// scaling, both in bytes/s.
+//
+// Disk load per server is demand-independent of n (it serves 1/n for
+// its own jobs plus (n-1)·(1/n) for peers), so the only n-dependent
+// bottleneck is the NIC carrying the (n-1)/n peer fraction — with a
+// datacenter storage fabric (NIC >= demand) throughput stays linear,
+// which is the figure's conclusion.
+func (m FabricModel) Throughput(n int) (actual, linear unit.Bandwidth) {
+	if n <= 0 {
+		return 0, 0
+	}
+	d := float64(m.DemandPerServer)
+	linear = unit.Bandwidth(d * float64(n))
+	scale := 1.0
+	if m.LocalDiskBW > 0 && d > float64(m.LocalDiskBW) {
+		scale = float64(m.LocalDiskBW) / d
+	}
+	peerFrac := float64(n-1) / float64(n)
+	if m.FabricNICBW > 0 && peerFrac > 0 {
+		nicScale := float64(m.FabricNICBW) / (d * peerFrac)
+		if nicScale < scale {
+			scale = nicScale
+		}
+	}
+	if scale > 1 {
+		scale = 1
+	}
+	return unit.Bandwidth(d * float64(n) * scale), linear
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+func TestNewCluster(t *testing.T) {
+	c, err := New(4, 8, unit.TiB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalGPUs() != 32 || c.FreeGPUs() != 32 {
+		t.Errorf("GPUs: %d/%d", c.FreeGPUs(), c.TotalGPUs())
+	}
+	if c.TotalCache() != unit.TiB(4) {
+		t.Errorf("cache: %v", c.TotalCache())
+	}
+	if _, err := New(0, 8, 0); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestPlaceWholeServerPreferred(t *testing.T) {
+	c, _ := New(3, 8, unit.TiB(1))
+	p, err := c.Place("j1", 8, Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 {
+		t.Errorf("8-GPU gang spread over %d servers, want 1", len(p))
+	}
+	if c.FreeGPUs() != 16 {
+		t.Errorf("free = %d", c.FreeGPUs())
+	}
+}
+
+func TestPlaceSpansWhenNeeded(t *testing.T) {
+	c, _ := New(2, 4, unit.TiB(1))
+	if _, err := c.Place("a", 3, Pack); err != nil {
+		t.Fatal(err)
+	}
+	// 5 free GPUs across (1, 4): a 5-GPU gang must span.
+	p, err := c.Place("b", 5, Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range p {
+		total += g
+	}
+	if total != 5 || len(p) != 2 {
+		t.Errorf("placement %v", p)
+	}
+	if c.FreeGPUs() != 0 {
+		t.Errorf("free = %d", c.FreeGPUs())
+	}
+}
+
+func TestPlaceRejectsOversizedGang(t *testing.T) {
+	c, _ := New(2, 4, unit.TiB(1))
+	if _, err := c.Place("x", 9, Pack); err == nil {
+		t.Error("oversized gang placed")
+	}
+	if _, err := c.Place("x", 0, Pack); err == nil {
+		t.Error("zero gang placed")
+	}
+}
+
+func TestPackVsSpread(t *testing.T) {
+	c, _ := New(2, 8, unit.TiB(1))
+	c.Place("a", 4, Pack)
+	// Pack prefers the fuller server for the next small gang.
+	p, _ := c.Place("b", 2, Pack)
+	for sid := range p {
+		if sid != 0 {
+			t.Errorf("pack placed on server %d, want 0", sid)
+		}
+	}
+	c2, _ := New(2, 8, unit.TiB(1))
+	c2.Place("a", 4, Spread)
+	p2, _ := c2.Place("b", 2, Spread)
+	for sid := range p2 {
+		if sid != 1 {
+			t.Errorf("spread placed on server %d, want 1", sid)
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c, _ := New(2, 4, unit.TiB(1))
+	c.Place("a", 6, Pack)
+	c.Release("a")
+	if c.FreeGPUs() != 8 {
+		t.Errorf("release left %d free", c.FreeGPUs())
+	}
+	c.Release("never-placed") // no-op
+}
+
+// TestFabricModelFigure3 pins the Figure 3 conclusion: with a
+// datacenter storage fabric, peer reads sustain near-linear scaling.
+func TestFabricModelFigure3(t *testing.T) {
+	m := FabricModel{
+		DemandPerServer: unit.MBpsOf(1923),
+		LocalDiskBW:     unit.GBpsOf(3.2),
+		FabricNICBW:     unit.GBpsOf(2.5),
+	}
+	for _, n := range []int{1, 10, 50} {
+		actual, linear := m.Throughput(n)
+		if float64(actual) < 0.75*float64(linear) {
+			t.Errorf("n=%d: %v vs linear %v", n, actual, linear)
+		}
+		if actual > linear {
+			t.Errorf("n=%d: actual above linear", n)
+		}
+	}
+	// A slow NIC becomes the bottleneck as the peer fraction grows.
+	slow := FabricModel{
+		DemandPerServer: unit.MBpsOf(1923),
+		LocalDiskBW:     unit.GBpsOf(3.2),
+		FabricNICBW:     unit.MBpsOf(500),
+	}
+	a1, _ := slow.Throughput(1)
+	a50, l50 := slow.Throughput(50)
+	if float64(a1) != 1923*float64(unit.MB) {
+		t.Errorf("n=1 has no peer traffic, throughput %v", a1)
+	}
+	if float64(a50) > 0.5*float64(l50) {
+		t.Errorf("slow NIC at n=50 should bottleneck hard: %v vs %v", a50, l50)
+	}
+	if got, _ := m.Throughput(0); got != 0 {
+		t.Error("n=0")
+	}
+}
+
+// TestPlacementInvariantsProperty: under random place/release
+// sequences, no server ever exceeds its GPU count and accounting stays
+// exact.
+func TestPlacementInvariantsProperty(t *testing.T) {
+	rng := simrng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		servers := rng.Intn(6) + 1
+		perServer := rng.Intn(7) + 2
+		c, err := New(servers, perServer, unit.TiB(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := map[string]int{}
+		nextID := 0
+		for step := 0; step < 100; step++ {
+			if rng.Float64() < 0.6 {
+				gang := rng.Intn(perServer*2) + 1
+				id := fmt.Sprintf("j%d", nextID)
+				nextID++
+				p, err := c.Place(id, gang, []PlacementStrategy{Pack, Spread}[rng.Intn(2)])
+				if err != nil {
+					if gang <= c.FreeGPUs() {
+						t.Fatalf("placement failed with %d free: %v", c.FreeGPUs(), err)
+					}
+					continue
+				}
+				total := 0
+				for _, g := range p {
+					total += g
+				}
+				if total != gang {
+					t.Fatalf("placed %d of %d GPUs", total, gang)
+				}
+				placed[id] = gang
+			} else {
+				for id := range placed {
+					c.Release(id)
+					delete(placed, id)
+					break
+				}
+			}
+			used := 0
+			for _, g := range placed {
+				used += g
+			}
+			if c.FreeGPUs() != servers*perServer-used {
+				t.Fatalf("accounting drift: free=%d want %d", c.FreeGPUs(), servers*perServer-used)
+			}
+			for _, srv := range c.Servers() {
+				if srv.FreeGPUs < 0 || srv.FreeGPUs > srv.GPUs {
+					t.Fatalf("server %d free=%d of %d", srv.ID, srv.FreeGPUs, srv.GPUs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package controlplane provides SiloD's deployment layer — the
+// substitute for the paper's Kubernetes integration (§6): a scheduler
+// daemon that accepts job submissions over HTTP, runs a SiloD policy on
+// a schedule, and pushes the resulting allocations to a data-manager
+// service exposing the Table 3 APIs. Allocations are persisted in the
+// scheduler's annotation store (the pod-annotation analogue), from
+// which a restarted data manager reconstructs its state ("Fault
+// tolerance", §6).
+//
+// Everything is stdlib net/http + encoding/json; both services are
+// exercised end-to-end with httptest in the package tests and run
+// standalone via cmd/silodd and cmd/silodctl.
+package controlplane
+
+import (
+	"repro/internal/unit"
+)
+
+// RegisterDatasetRequest declares a dataset to the data manager.
+type RegisterDatasetRequest struct {
+	Name      string     `json:"name"`
+	Size      unit.Bytes `json:"size"`
+	BlockSize unit.Bytes `json:"block_size"`
+}
+
+// AttachJobRequest binds a job to a dataset.
+type AttachJobRequest struct {
+	JobID   string `json:"job_id"`
+	Dataset string `json:"dataset"`
+}
+
+// AllocateCacheRequest is Table 3's allocateCacheSize(dataset_uri,
+// cache_size).
+type AllocateCacheRequest struct {
+	Dataset string     `json:"dataset"`
+	Size    unit.Bytes `json:"size"`
+}
+
+// AllocateRemoteIORequest is Table 3's allocateRemoteIO(job_id,
+// io_speed).
+type AllocateRemoteIORequest struct {
+	JobID string         `json:"job_id"`
+	Speed unit.Bandwidth `json:"speed"`
+}
+
+// ReadRequest is one block access from a FUSE client.
+type ReadRequest struct {
+	JobID string `json:"job_id"`
+	Block int    `json:"block"`
+}
+
+// ReadResponse reports the access outcome and throttle delay.
+type ReadResponse struct {
+	Hit        bool  `json:"hit"`
+	WaitMicros int64 `json:"wait_micros"`
+}
+
+// JobStatsResponse mirrors datamgr.JobStats over the wire.
+type JobStatsResponse struct {
+	Dataset         string         `json:"dataset"`
+	Epoch           int            `json:"epoch"`
+	EffectiveCached unit.Bytes     `json:"effective_cached"`
+	AccessedBlocks  int            `json:"accessed_blocks"`
+	HitBlocks       int64          `json:"hit_blocks"`
+	MissBlocks      int64          `json:"miss_blocks"`
+	RemoteBytes     unit.Bytes     `json:"remote_bytes"`
+	RemoteIO        unit.Bandwidth `json:"remote_io"`
+}
+
+// SubmitJobRequest registers a training job with the scheduler.
+type SubmitJobRequest struct {
+	JobID           string         `json:"job_id"`
+	Model           string         `json:"model"`
+	Dataset         string         `json:"dataset"`
+	DatasetSize     unit.Bytes     `json:"dataset_size"`
+	NumGPUs         int            `json:"num_gpus"`
+	IdealThroughput unit.Bandwidth `json:"ideal_throughput"`
+	TotalBytes      unit.Bytes     `json:"total_bytes"`
+	Irregular       bool           `json:"irregular,omitempty"`
+}
+
+// ProgressRequest reports a job's training progress (the scheduler
+// monitors progress "via data access requests", §6).
+type ProgressRequest struct {
+	JobID          string     `json:"job_id"`
+	AttainedBytes  unit.Bytes `json:"attained_bytes"`
+	EffectiveCache unit.Bytes `json:"effective_cache"`
+	CachedBytes    unit.Bytes `json:"cached_bytes"`
+	Done           bool       `json:"done,omitempty"`
+}
+
+// JobStatus is the scheduler's view of a job, returned by GET /jobs.
+type JobStatus struct {
+	SubmitJobRequest
+	Running        bool           `json:"running"`
+	GPUs           int            `json:"gpus"`
+	CacheQuota     unit.Bytes     `json:"cache_quota"`
+	RemoteIO       unit.Bandwidth `json:"remote_io"`
+	AttainedBytes  unit.Bytes     `json:"attained_bytes"`
+	RemainingBytes unit.Bytes     `json:"remaining_bytes"`
+	Done           bool           `json:"done"`
+}
+
+// Annotations is the persisted allocation state — the analogue of the
+// pod annotations Kubernetes keeps for SiloD ("the allocation of remote
+// IO and cache is stored in pod annotation", §6). A recovering data
+// manager replays it.
+type Annotations struct {
+	CacheQuota map[string]unit.Bytes     `json:"cache_quota"`
+	RemoteIO   map[string]unit.Bandwidth `json:"remote_io"`
+	Jobs       map[string]string         `json:"jobs"` // job -> dataset
+	Datasets   map[string]DatasetGeom    `json:"datasets"`
+}
+
+// DatasetGeom mirrors datamgr.DatasetGeom.
+type DatasetGeom struct {
+	Size      unit.Bytes `json:"size"`
+	BlockSize unit.Bytes `json:"block_size"`
+}
+
+// ErrorResponse carries an error over the wire.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,187 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/datamgr"
+	"repro/internal/unit"
+)
+
+// Client talks to a DataManagerServer or SchedulerServer over HTTP. It
+// implements DataPlane, so a SchedulerServer can drive a remote data
+// manager transparently.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://127.0.0.1:7070").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// doJSON posts (or GETs, for nil body) and decodes the response into
+// out when non-nil. Non-2xx responses decode the server's error.
+func (c *Client) doJSON(method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("controlplane: marshal %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var er ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("controlplane: %s %s: %s", method, path, er.Error)
+		}
+		return fmt.Errorf("controlplane: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// RegisterDataset implements DataPlane.
+func (c *Client) RegisterDataset(name string, size, blockSize unit.Bytes) error {
+	return c.doJSON("POST", "/v1/datasets", RegisterDatasetRequest{Name: name, Size: size, BlockSize: blockSize}, nil)
+}
+
+// AttachJob implements DataPlane.
+func (c *Client) AttachJob(jobID, dataset string) error {
+	return c.doJSON("POST", "/v1/jobs", AttachJobRequest{JobID: jobID, Dataset: dataset}, nil)
+}
+
+// DetachJob implements DataPlane.
+func (c *Client) DetachJob(jobID string) error {
+	return c.doJSON("DELETE", "/v1/jobs/"+jobID, nil, nil)
+}
+
+// AllocateCacheSize implements DataPlane (Table 3).
+func (c *Client) AllocateCacheSize(dataset string, size unit.Bytes) error {
+	return c.doJSON("POST", "/v1/allocate/cache", AllocateCacheRequest{Dataset: dataset, Size: size}, nil)
+}
+
+// AllocateRemoteIO implements DataPlane (Table 3).
+func (c *Client) AllocateRemoteIO(jobID string, speed unit.Bandwidth) error {
+	return c.doJSON("POST", "/v1/allocate/remoteio", AllocateRemoteIORequest{JobID: jobID, Speed: speed}, nil)
+}
+
+// Read performs one block access through the data manager.
+func (c *Client) Read(jobID string, block int) (ReadResponse, error) {
+	var out ReadResponse
+	err := c.doJSON("POST", "/v1/read", ReadRequest{JobID: jobID, Block: block}, &out)
+	return out, err
+}
+
+// EpochStart marks a job's epoch boundary.
+func (c *Client) EpochStart(jobID string) error {
+	return c.doJSON("POST", "/v1/epoch/"+jobID, nil, nil)
+}
+
+// Stats fetches a job's counters.
+func (c *Client) Stats(jobID string) (JobStatsResponse, error) {
+	var out JobStatsResponse
+	err := c.doJSON("GET", "/v1/stats/"+jobID, nil, &out)
+	return out, err
+}
+
+// Snapshot fetches the data manager's allocation snapshot.
+func (c *Client) Snapshot() (datamgr.Snapshot, error) {
+	var out datamgr.Snapshot
+	err := c.doJSON("GET", "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// Restore replays a snapshot into a (fresh) data manager.
+func (c *Client) Restore(s datamgr.Snapshot) error {
+	return c.doJSON("POST", "/v1/restore", s, nil)
+}
+
+// SubmitJob submits a job to a scheduler server.
+func (c *Client) SubmitJob(req SubmitJobRequest) error {
+	return c.doJSON("POST", "/v1/jobs", req, nil)
+}
+
+// ReportProgress posts a progress update to a scheduler server.
+func (c *Client) ReportProgress(req ProgressRequest) error {
+	return c.doJSON("POST", "/v1/progress", req, nil)
+}
+
+// TriggerSchedule runs one scheduling round on a scheduler server.
+func (c *Client) TriggerSchedule() error {
+	return c.doJSON("POST", "/v1/schedule", nil, nil)
+}
+
+// ListJobs fetches the scheduler's job table.
+func (c *Client) ListJobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.doJSON("GET", "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Annotations fetches the scheduler's persisted allocations.
+func (c *Client) Annotations() (Annotations, error) {
+	var out Annotations
+	err := c.doJSON("GET", "/v1/annotations", nil, &out)
+	return out, err
+}
+
+var _ DataPlane = (*Client)(nil)
+
+// LocalDataPlane adapts a datamgr.Manager to the DataPlane interface
+// for single-process deployments (and tests).
+type LocalDataPlane struct {
+	Mgr *datamgr.Manager
+}
+
+// RegisterDataset implements DataPlane. A zero blockSize uses the 64 MB
+// default, matching the HTTP server's behaviour.
+func (l LocalDataPlane) RegisterDataset(name string, size, blockSize unit.Bytes) error {
+	if blockSize <= 0 {
+		blockSize = 64 * unit.MB
+	}
+	return l.Mgr.RegisterDataset(name, size, blockSize)
+}
+
+// AttachJob implements DataPlane.
+func (l LocalDataPlane) AttachJob(jobID, dataset string) error {
+	return l.Mgr.AttachJob(jobID, dataset)
+}
+
+// DetachJob implements DataPlane.
+func (l LocalDataPlane) DetachJob(jobID string) error {
+	l.Mgr.DetachJob(jobID)
+	return nil
+}
+
+// AllocateCacheSize implements DataPlane.
+func (l LocalDataPlane) AllocateCacheSize(dataset string, size unit.Bytes) error {
+	return l.Mgr.AllocateCacheSize(dataset, size)
+}
+
+// AllocateRemoteIO implements DataPlane.
+func (l LocalDataPlane) AllocateRemoteIO(jobID string, speed unit.Bandwidth) error {
+	return l.Mgr.AllocateRemoteIO(jobID, speed)
+}
+
+var _ DataPlane = LocalDataPlane{}

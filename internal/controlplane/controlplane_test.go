@@ -1,0 +1,288 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datamgr"
+	"repro/internal/policy"
+	"repro/internal/unit"
+)
+
+// newStack spins up a data manager service and a scheduler driving it
+// over real HTTP.
+func newStack(t *testing.T, pol core.Policy) (*Client, *Client, *SchedulerServer, func()) {
+	t.Helper()
+	mgr := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 1, nil)
+	dmSrv := httptest.NewServer(NewDataManagerServer(mgr))
+	dmClient := NewClient(dmSrv.URL)
+	sched, err := NewSchedulerServer(core.Cluster{GPUs: 8, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)}, pol, dmClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedSrv := httptest.NewServer(sched)
+	return NewClient(schedSrv.URL), dmClient, sched, func() {
+		schedSrv.Close()
+		dmSrv.Close()
+	}
+}
+
+func submitReq(id string, gpus int, dsSize unit.Bytes) SubmitJobRequest {
+	return SubmitJobRequest{
+		JobID:           id,
+		Model:           "ResNet-50",
+		Dataset:         "ds-" + id,
+		DatasetSize:     dsSize,
+		NumGPUs:         gpus,
+		IdealThroughput: unit.MBpsOf(114),
+		TotalBytes:      10 * dsSize,
+	}
+}
+
+func TestEndToEndScheduleAndAllocate(t *testing.T) {
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedC, dmC, _, stop := newStack(t, pol)
+	defer stop()
+
+	if err := schedC.SubmitJob(submitReq("a", 1, unit.GiB(40))); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.SubmitJob(submitReq("b", 1, unit.GiB(80))); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.TriggerSchedule(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := schedC.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if !j.Running || j.GPUs != 1 {
+			t.Errorf("job %s not running with 1 GPU: %+v", j.JobID, j)
+		}
+	}
+	// The greedy allocator must have cached the more efficient (smaller)
+	// dataset fully.
+	st, err := dmC.Stats("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dataset != "ds-a" {
+		t.Fatalf("job a attached to %q", st.Dataset)
+	}
+	// Reads flow through the data manager and count hits/misses.
+	if err := dmC.EpochStart("a"); err != nil {
+		t.Fatal(err)
+	}
+	r0, err := dmC.Read("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Hit {
+		t.Error("first read of block 0 hit an empty cache")
+	}
+	r1, err := dmC.Read("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Hit {
+		t.Error("second read of block 0 missed despite quota (40GiB dataset, full quota expected)")
+	}
+}
+
+func TestCrashRecoveryFromAnnotations(t *testing.T) {
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedC, dmC, sched, stop := newStack(t, pol)
+	defer stop()
+	if err := schedC.SubmitJob(submitReq("a", 2, unit.GiB(50))); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.TriggerSchedule(); err != nil {
+		t.Fatal(err)
+	}
+	ann := sched.Annotations()
+	if ann.Jobs["a"] != "ds-a" {
+		t.Fatalf("annotations missing job a: %+v", ann)
+	}
+	if ann.CacheQuota["ds-a"] <= 0 {
+		t.Fatalf("annotations missing cache quota: %+v", ann)
+	}
+
+	// Simulate a data manager crash: build a fresh one and restore from
+	// the snapshot assembled out of annotations (§6 fault tolerance).
+	snap, err := dmC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 2, nil)
+	freshSrv := httptest.NewServer(NewDataManagerServer(fresh))
+	defer freshSrv.Close()
+	freshC := NewClient(freshSrv.URL)
+	if err := freshC.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := freshC.Stats("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dataset != "ds-a" {
+		t.Fatalf("restored manager lost job binding: %+v", st)
+	}
+	if got := fresh.Quota("ds-a"); got != snap.Quotas["ds-a"] {
+		t.Fatalf("restored quota %v != snapshot %v", got, snap.Quotas["ds-a"])
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedC, _, _, stop := newStack(t, pol)
+	defer stop()
+	bad := []SubmitJobRequest{
+		{},                                     // empty
+		submitReq("x", 0, unit.GiB(1)),         // zero GPUs
+		submitReq("y", 99, unit.GiB(1)),        // too many GPUs
+		{JobID: "z", Dataset: "d", NumGPUs: 1}, // no profile
+	}
+	for i, req := range bad {
+		if err := schedC.SubmitJob(req); err == nil {
+			t.Errorf("bad submit %d accepted", i)
+		}
+	}
+	// Duplicate submission rejected.
+	if err := schedC.SubmitJob(submitReq("a", 1, unit.GiB(10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.SubmitJob(submitReq("a", 1, unit.GiB(10))); err == nil {
+		t.Error("duplicate submit accepted")
+	}
+}
+
+func TestProgressDrivesCompletion(t *testing.T) {
+	pol, err := policy.Build(policy.SJFKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedC, _, _, stop := newStack(t, pol)
+	defer stop()
+	req := submitReq("a", 1, unit.GiB(10))
+	if err := schedC.SubmitJob(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.TriggerSchedule(); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedC.ReportProgress(ProgressRequest{
+		JobID: "a", AttainedBytes: req.TotalBytes, Done: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := schedC.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].Done || jobs[0].Running {
+		t.Errorf("job not marked done: %+v", jobs[0])
+	}
+	// Progress for unknown jobs is rejected.
+	if err := schedC.ReportProgress(ProgressRequest{JobID: "nope"}); err == nil {
+		t.Error("progress for unknown job accepted")
+	}
+}
+
+func TestRunLoopSchedulesPeriodically(t *testing.T) {
+	pol, err := policy.Build(policy.GavelKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 1, nil)
+	sched, err := NewSchedulerServer(core.Cluster{GPUs: 4, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)},
+		pol, LocalDataPlane{Mgr: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Submit(submitReq("a", 1, unit.GiB(20))); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go sched.RunLoop(5*time.Millisecond, stop, nil)
+	deadline := time.After(2 * time.Second)
+	for {
+		jobs := sched.Jobs()
+		if len(jobs) == 1 && jobs[0].Running {
+			break
+		}
+		select {
+		case <-deadline:
+			close(stop)
+			t.Fatal("RunLoop never scheduled the job")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	if got := mgr.Quota("ds-a"); got <= 0 {
+		t.Errorf("loop did not push quotas to the data plane: %v", got)
+	}
+}
+
+func TestScheduleSurfacesDataPlaneFailure(t *testing.T) {
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the scheduler at a dead data manager.
+	dead := NewClient("http://127.0.0.1:1") // nothing listens here
+	sched, err := NewSchedulerServer(core.Cluster{GPUs: 4, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)},
+		pol, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Submit(submitReq("a", 1, unit.GiB(20))); err == nil {
+		t.Fatal("submit should fail when the data plane is unreachable")
+	}
+}
+
+func TestAPIJSONRoundTrip(t *testing.T) {
+	// The wire types must round-trip through JSON without loss; a field
+	// rename would silently break mixed-version deployments.
+	snap := Annotations{
+		CacheQuota: map[string]unit.Bytes{"ds": unit.GiB(10)},
+		RemoteIO:   map[string]unit.Bandwidth{"j": unit.MBpsOf(50)},
+		Jobs:       map[string]string{"j": "ds"},
+		Datasets:   map[string]DatasetGeom{"ds": {Size: unit.GiB(10), BlockSize: 64 * unit.MB}},
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Annotations
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CacheQuota["ds"] != snap.CacheQuota["ds"] ||
+		back.RemoteIO["j"] != snap.RemoteIO["j"] ||
+		back.Datasets["ds"] != snap.Datasets["ds"] {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	for _, key := range []string{"cache_quota", "remote_io", "jobs", "datasets"} {
+		if !strings.Contains(string(buf), key) {
+			t.Errorf("wire format missing %q: %s", key, buf)
+		}
+	}
+}

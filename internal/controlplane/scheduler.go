@@ -1,0 +1,307 @@
+package controlplane
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/unit"
+)
+
+// DataPlane is the slice of the data manager the scheduler drives: the
+// Table 3 allocation APIs plus dataset/job lifecycle. Both the local
+// datamgr.Manager (via LocalDataPlane) and the HTTP Client satisfy it.
+type DataPlane interface {
+	RegisterDataset(name string, size, blockSize unit.Bytes) error
+	AttachJob(jobID, dataset string) error
+	DetachJob(jobID string) error
+	AllocateCacheSize(dataset string, size unit.Bytes) error
+	AllocateRemoteIO(jobID string, speed unit.Bandwidth) error
+}
+
+// schedJob is the scheduler's job record.
+type schedJob struct {
+	req       SubmitJobRequest
+	submitted time.Time
+	attained  unit.Bytes
+	effective unit.Bytes
+	cached    unit.Bytes
+	running   bool
+	done      bool
+	gpus      int
+	quota     unit.Bytes
+	remoteIO  unit.Bandwidth
+}
+
+// SchedulerServer is the SiloD Scheduler (§6, Figure 7): it extends a
+// compute-only scheduler to joint compute-storage allocation, pushing
+// decisions to the data plane and persisting them as annotations.
+type SchedulerServer struct {
+	mu      sync.Mutex
+	cluster core.Cluster
+	policy  core.Policy
+	dp      DataPlane
+	jobs    map[string]*schedJob
+	epoch   time.Time // scheduler start, for Submit timestamps
+	mux     *http.ServeMux
+}
+
+// NewSchedulerServer builds a scheduler for the cluster driving dp with
+// the given policy.
+func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane) (*SchedulerServer, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil || dp == nil {
+		return nil, fmt.Errorf("controlplane: scheduler needs a policy and a data plane")
+	}
+	s := &SchedulerServer{
+		cluster: cluster,
+		policy:  pol,
+		dp:      dp,
+		jobs:    make(map[string]*schedJob),
+		epoch:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/annotations", s.handleAnnotations)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *SchedulerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Submit registers a job and wires its dataset into the data plane.
+func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
+	if req.JobID == "" || req.Dataset == "" {
+		return fmt.Errorf("controlplane: submit needs job_id and dataset")
+	}
+	if req.NumGPUs <= 0 || req.NumGPUs > s.cluster.GPUs {
+		return fmt.Errorf("controlplane: job %s requests %d GPUs (cluster has %d)",
+			req.JobID, req.NumGPUs, s.cluster.GPUs)
+	}
+	if req.DatasetSize <= 0 || req.IdealThroughput <= 0 || req.TotalBytes <= 0 {
+		return fmt.Errorf("controlplane: job %s has incomplete profile", req.JobID)
+	}
+	s.mu.Lock()
+	if _, dup := s.jobs[req.JobID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("controlplane: job %s already submitted", req.JobID)
+	}
+	s.jobs[req.JobID] = &schedJob{req: req, submitted: time.Now()}
+	s.mu.Unlock()
+	if err := s.dp.RegisterDataset(req.Dataset, req.DatasetSize, 0); err != nil {
+		return err
+	}
+	return s.dp.AttachJob(req.JobID, req.Dataset)
+}
+
+// Progress records a job's progress report.
+func (s *SchedulerServer) Progress(req ProgressRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		return fmt.Errorf("controlplane: progress for unknown job %q", req.JobID)
+	}
+	j.attained = req.AttainedBytes
+	j.effective = req.EffectiveCache
+	j.cached = req.CachedBytes
+	if req.Done {
+		j.done = true
+		j.running = false
+	}
+	return nil
+}
+
+// Schedule runs one allocation round and pushes it to the data plane.
+func (s *SchedulerServer) Schedule() error {
+	s.mu.Lock()
+	views := make([]core.JobView, 0, len(s.jobs))
+	byID := make(map[string]*schedJob, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.done {
+			continue
+		}
+		rem := j.req.TotalBytes - j.attained
+		if rem < 0 {
+			rem = 0
+		}
+		views = append(views, core.JobView{
+			ID:      id,
+			NumGPUs: j.req.NumGPUs,
+			Profile: estimator.JobProfile{
+				IdealThroughput: j.req.IdealThroughput,
+				DatasetSize:     j.req.DatasetSize,
+			},
+			DatasetKey:      j.req.Dataset,
+			DatasetSize:     j.req.DatasetSize,
+			RemainingBytes:  rem,
+			AttainedBytes:   j.attained,
+			EffectiveCached: j.effective,
+			CachedBytes:     j.cached,
+			Submit:          unit.Time(j.submitted.Sub(s.epoch).Seconds()),
+			Running:         j.running,
+			Irregular:       j.req.Irregular,
+		})
+	}
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	now := unit.Time(time.Since(s.epoch).Seconds())
+	a := s.policy.Assign(s.cluster, now, views)
+	if err := a.Validate(s.cluster, views); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("controlplane: policy %s: %w", s.policy.Name(), err)
+	}
+	for _, v := range views {
+		byID[v.ID] = s.jobs[v.ID]
+	}
+	for id, j := range byID {
+		j.gpus = a.GPUs[id]
+		j.running = j.gpus > 0
+		j.remoteIO = a.RemoteIO[id]
+		j.quota = a.CacheQuota[j.req.Dataset]
+	}
+	quotas := make(map[string]unit.Bytes, len(a.CacheQuota))
+	for k, v := range a.CacheQuota {
+		quotas[k] = v
+	}
+	remote := make(map[string]unit.Bandwidth, len(a.RemoteIO))
+	for k, v := range a.RemoteIO {
+		remote[k] = v
+	}
+	s.mu.Unlock()
+
+	// Push to the data plane outside the lock.
+	for ds, q := range quotas {
+		if err := s.dp.AllocateCacheSize(ds, q); err != nil {
+			return err
+		}
+	}
+	for id, bw := range remote {
+		if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Annotations returns the persisted allocation state for recovery.
+func (s *SchedulerServer) Annotations() Annotations {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Annotations{
+		CacheQuota: make(map[string]unit.Bytes),
+		RemoteIO:   make(map[string]unit.Bandwidth),
+		Jobs:       make(map[string]string),
+		Datasets:   make(map[string]DatasetGeom),
+	}
+	for id, j := range s.jobs {
+		if j.done {
+			continue
+		}
+		out.Jobs[id] = j.req.Dataset
+		out.RemoteIO[id] = j.remoteIO
+		out.CacheQuota[j.req.Dataset] = j.quota
+		out.Datasets[j.req.Dataset] = DatasetGeom{Size: j.req.DatasetSize, BlockSize: 64 * unit.MB}
+	}
+	return out
+}
+
+// Jobs lists the scheduler's job view, sorted by ID.
+func (s *SchedulerServer) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		rem := j.req.TotalBytes - j.attained
+		if rem < 0 {
+			rem = 0
+		}
+		out = append(out, JobStatus{
+			SubmitJobRequest: j.req,
+			Running:          j.running,
+			GPUs:             j.gpus,
+			CacheQuota:       j.quota,
+			RemoteIO:         j.remoteIO,
+			AttainedBytes:    j.attained,
+			RemainingBytes:   rem,
+			Done:             j.done,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].JobID < out[k].JobID })
+	return out
+}
+
+// RunLoop schedules every interval until stop closes — the daemon's
+// background loop.
+func (s *SchedulerServer) RunLoop(interval time.Duration, stop <-chan struct{}, onErr func(error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if err := s.Schedule(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
+func (s *SchedulerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitJobRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Submit(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"job_id": req.JobID})
+}
+
+func (s *SchedulerServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var req ProgressRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Progress(req); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"job_id": req.JobID})
+}
+
+func (s *SchedulerServer) handleSchedule(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Schedule(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "scheduled"})
+}
+
+func (s *SchedulerServer) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *SchedulerServer) handleAnnotations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Annotations())
+}

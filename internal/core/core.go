@@ -1,0 +1,334 @@
+// Package core defines the SiloD scheduling framework (§3, Algorithm 1):
+// the resource model in which cache capacity and remote IO bandwidth are
+// first-class resources next to GPUs, the policy interface through which
+// existing schedulers plug in, and the regular/irregular partitioning of
+// §6 that protects the analytical estimator from jobs that violate its
+// assumptions.
+//
+// The framework is deliberately mechanism-free: enforcement of the
+// returned Assignment is the data manager's job (package datamgr), and
+// the passage of time is the simulator's or testbed's job.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/unit"
+)
+
+// Cluster is totalResource in Algorithm 1: everything the scheduler may
+// hand out. SiloD's contribution is the presence of Cache and RemoteIO
+// here.
+type Cluster struct {
+	GPUs     int
+	Cache    unit.Bytes
+	RemoteIO unit.Bandwidth
+}
+
+// Validate reports whether the cluster description is usable.
+func (c Cluster) Validate() error {
+	if c.GPUs <= 0 {
+		return fmt.Errorf("core: cluster with %d GPUs", c.GPUs)
+	}
+	if c.Cache < 0 || c.RemoteIO < 0 {
+		return fmt.Errorf("core: negative storage resources (%v cache, %v IO)", c.Cache, c.RemoteIO)
+	}
+	return nil
+}
+
+// JobView is the scheduler's read-only view of one job. RemainingBytes
+// is the job's remaining training work expressed in data volume, which
+// divided by a throughput (bytes/s) yields remaining duration — the
+// quantity SJF-style policies order by.
+type JobView struct {
+	ID             string
+	NumGPUs        int // gang size; all-or-nothing
+	Profile        estimator.JobProfile
+	DatasetKey     string // cache accounting key; shared across jobs using the same dataset
+	DatasetSize    unit.Bytes
+	RemainingBytes unit.Bytes
+	// AttainedBytes is the data volume the job has trained through so
+	// far; deficit-based fairness policies use it to approximate
+	// max-min fair service over time.
+	AttainedBytes unit.Bytes
+	// EffectiveCached is the currently effective cached bytes for the
+	// job (§6 "fine-grained management"): newly admitted blocks do not
+	// help until the next epoch, so allocators must size remote IO
+	// grants to the instantaneous demand f*·(1 - effective/d), not the
+	// planned-quota demand, or cold jobs starve during warm-up.
+	EffectiveCached unit.Bytes
+	// CachedBytes is the dataset's live cached bytes, including blocks
+	// admitted this epoch that are not yet effective. Allocators use it
+	// for placement stability (warm-data hysteresis): a dataset filling
+	// up mid-epoch must not be evicted before it ever pays off.
+	CachedBytes unit.Bytes
+	Submit      unit.Time
+	Running     bool
+	// Irregular marks jobs whose access pattern breaks the uniform
+	// exactly-once assumption (e.g. curriculum learning, §7.4); the
+	// framework schedules them in a fallback partition (§6).
+	Irregular bool
+}
+
+// Assignment is the joint allocation a policy produces: which jobs run
+// (gang-granted GPUs), how much cache each dataset receives, and how
+// much remote IO each running job receives. Cache is allocated to
+// datasets, not jobs, so sharing jobs are charged once (§6).
+type Assignment struct {
+	GPUs       map[string]int
+	CacheQuota map[string]unit.Bytes
+	RemoteIO   map[string]unit.Bandwidth
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() Assignment {
+	return Assignment{
+		GPUs:       make(map[string]int),
+		CacheQuota: make(map[string]unit.Bytes),
+		RemoteIO:   make(map[string]unit.Bandwidth),
+	}
+}
+
+// Merge folds other into a (keys in other win). Used to combine the
+// regular and irregular partitions.
+func (a Assignment) Merge(other Assignment) Assignment {
+	for k, v := range other.GPUs {
+		a.GPUs[k] = v
+	}
+	for k, v := range other.CacheQuota {
+		a.CacheQuota[k] = v
+	}
+	for k, v := range other.RemoteIO {
+		a.RemoteIO[k] = v
+	}
+	return a
+}
+
+// Validate checks the assignment against the cluster and job list:
+// no oversubscription, no grants to unknown jobs, gang-or-nothing GPU
+// grants. Policies are validated in tests and the simulator validates
+// at every rescheduling point, so allocation bugs fail loudly.
+func (a Assignment) Validate(c Cluster, jobs []JobView) error {
+	byID := make(map[string]JobView, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	gpus := 0
+	for id, g := range a.GPUs {
+		j, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("core: GPU grant to unknown job %q", id)
+		}
+		if g != 0 && g != j.NumGPUs {
+			return fmt.Errorf("core: job %s granted %d GPUs, gang needs %d", id, g, j.NumGPUs)
+		}
+		gpus += g
+	}
+	if gpus > c.GPUs {
+		return fmt.Errorf("core: %d GPUs granted, cluster has %d", gpus, c.GPUs)
+	}
+	var cacheSum unit.Bytes
+	for key, q := range a.CacheQuota {
+		if q < 0 {
+			return fmt.Errorf("core: negative cache quota %v for %q", q, key)
+		}
+		cacheSum += q
+	}
+	if float64(cacheSum) > float64(c.Cache)*(1+1e-9)+1 {
+		return fmt.Errorf("core: %v cache granted, cluster has %v", cacheSum, c.Cache)
+	}
+	var ioSum unit.Bandwidth
+	for id, bw := range a.RemoteIO {
+		if bw < 0 {
+			return fmt.Errorf("core: negative remote IO %v for %q", bw, id)
+		}
+		if _, ok := byID[id]; !ok {
+			return fmt.Errorf("core: remote IO grant to unknown job %q", id)
+		}
+		ioSum += bw
+	}
+	if float64(ioSum) > float64(c.RemoteIO)*(1+1e-9)+1 {
+		return fmt.Errorf("core: %v remote IO granted, cluster has %v", ioSum, c.RemoteIO)
+	}
+	return nil
+}
+
+// Policy is a cluster scheduling policy. Implementations receive the
+// full job list (pending and running) and produce a fresh Assignment;
+// SiloD-enhanced policies consult estimator.JobProfile (SiloDPerf,
+// Eq. 4) while vanilla policies look only at IdealThroughput.
+type Policy interface {
+	Name() string
+	Assign(c Cluster, now unit.Time, jobs []JobView) Assignment
+}
+
+// Framework is SiloD's top-level scheduler (Algorithm 1). It partitions
+// jobs into regular and irregular sets (§6 "Handling irregular data
+// access"), splits storage resources proportionally between the
+// partitions, runs the configured policy on the regular partition with
+// the enhanced estimator, and runs the fallback policy on the irregular
+// partition.
+type Framework struct {
+	// Policy schedules regular jobs (SiloD-enhanced).
+	Policy Policy
+	// Fallback schedules irregular jobs with their original estimator;
+	// nil means irregular jobs share the irregular partition's storage
+	// equally while keeping their GPU demand (a plain fair fallback).
+	Fallback Policy
+}
+
+// Schedule implements Algorithm 1 over both partitions.
+func (f *Framework) Schedule(c Cluster, now unit.Time, jobs []JobView) (Assignment, error) {
+	if err := c.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if f.Policy == nil {
+		return Assignment{}, fmt.Errorf("core: framework with nil policy")
+	}
+	var regular, irregular []JobView
+	for _, j := range jobs {
+		if j.Irregular {
+			irregular = append(irregular, j)
+		} else {
+			regular = append(regular, j)
+		}
+	}
+	if len(irregular) == 0 {
+		a := f.Policy.Assign(c, now, regular)
+		if err := a.Validate(c, regular); err != nil {
+			return Assignment{}, fmt.Errorf("policy %s: %w", f.Policy.Name(), err)
+		}
+		return a, nil
+	}
+
+	// Partition storage proportionally to GPU demand so neither class
+	// starves; GPUs remain a single pool arbitrated by grant order
+	// (regular first, then irregular from the remainder).
+	regDemand, irrDemand := gpuDemand(regular), gpuDemand(irregular)
+	total := regDemand + irrDemand
+	frac := 0.5
+	if total > 0 {
+		frac = float64(regDemand) / float64(total)
+	}
+	regCluster := Cluster{
+		GPUs:     c.GPUs,
+		Cache:    unit.Bytes(float64(c.Cache) * frac),
+		RemoteIO: unit.Bandwidth(float64(c.RemoteIO) * frac),
+	}
+	regAssign := f.Policy.Assign(regCluster, now, regular)
+	if err := regAssign.Validate(regCluster, regular); err != nil {
+		return Assignment{}, fmt.Errorf("policy %s (regular partition): %w", f.Policy.Name(), err)
+	}
+
+	usedGPUs := 0
+	for _, g := range regAssign.GPUs {
+		usedGPUs += g
+	}
+	irrCluster := Cluster{
+		GPUs:     c.GPUs - usedGPUs,
+		Cache:    c.Cache - unit.Bytes(float64(c.Cache)*frac),
+		RemoteIO: c.RemoteIO - unit.Bandwidth(float64(c.RemoteIO)*frac),
+	}
+	var irrAssign Assignment
+	if f.Fallback != nil && irrCluster.GPUs > 0 {
+		irrAssign = f.Fallback.Assign(irrCluster, now, irregular)
+		if err := irrAssign.Validate(irrCluster, irregular); err != nil {
+			return Assignment{}, fmt.Errorf("fallback %s (irregular partition): %w", f.Fallback.Name(), err)
+		}
+	} else {
+		irrAssign = equalShareFallback(irrCluster, irregular)
+	}
+	return regAssign.Merge(irrAssign), nil
+}
+
+// gpuDemand sums gang sizes.
+func gpuDemand(jobs []JobView) int {
+	var s int
+	for _, j := range jobs {
+		s += j.NumGPUs
+	}
+	return s
+}
+
+// equalShareFallback grants GPUs in submit order and splits the
+// partition's storage equally among admitted jobs, charging shared
+// datasets once.
+func equalShareFallback(c Cluster, jobs []JobView) Assignment {
+	a := NewAssignment()
+	sorted := append([]JobView(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Submit != sorted[j].Submit {
+			return sorted[i].Submit < sorted[j].Submit
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	free := c.GPUs
+	var admitted []JobView
+	for _, j := range sorted {
+		if j.NumGPUs <= free {
+			a.GPUs[j.ID] = j.NumGPUs
+			free -= j.NumGPUs
+			admitted = append(admitted, j)
+		}
+	}
+	if len(admitted) == 0 {
+		return a
+	}
+	ioShare := unit.Bandwidth(float64(c.RemoteIO) / float64(len(admitted)))
+	cacheShare := unit.Bytes(float64(c.Cache) / float64(len(admitted)))
+	for _, j := range admitted {
+		a.RemoteIO[j.ID] = ioShare
+		// Shared datasets accumulate the shares of their users, capped
+		// at the dataset size; the cap returns slack implicitly.
+		q := a.CacheQuota[j.DatasetKey] + cacheShare
+		if q > j.DatasetSize {
+			q = j.DatasetSize
+		}
+		a.CacheQuota[j.DatasetKey] = q
+	}
+	return a
+}
+
+// SortJobs orders jobs by submit time then ID — the canonical queue
+// order shared by every policy implementation.
+func SortJobs(jobs []JobView) []JobView {
+	out := append([]JobView(nil), jobs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Submit != out[j].Submit {
+			return out[i].Submit < out[j].Submit
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// frameworkPolicy adapts Framework to the Policy interface for engines
+// that drive policies directly. Scheduling errors indicate framework
+// misconfiguration or a broken inner policy and surface as panics, the
+// same contract the simulator applies to invalid assignments.
+type frameworkPolicy struct {
+	f *Framework
+}
+
+// Name implements Policy.
+func (p frameworkPolicy) Name() string {
+	name := "framework"
+	if p.f.Policy != nil {
+		name += "+" + p.f.Policy.Name()
+	}
+	return name
+}
+
+// Assign implements Policy.
+func (p frameworkPolicy) Assign(c Cluster, now unit.Time, jobs []JobView) Assignment {
+	a, err := p.f.Schedule(c, now, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("core: framework scheduling failed: %v", err))
+	}
+	return a
+}
+
+// AsPolicy returns the framework as a Policy.
+func (f *Framework) AsPolicy() Policy { return frameworkPolicy{f: f} }

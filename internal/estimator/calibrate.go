@@ -1,0 +1,77 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/unit"
+)
+
+// Sample is one profiling observation of a training job: how much data
+// it consumed over a window, under a known storage allocation. The
+// paper's schedulers rely on exactly this kind of offline profile
+// ("the ideal throughput of a job f* ... can be profiled offline",
+// §5.3).
+type Sample struct {
+	Window    unit.Duration // observation length
+	Bytes     unit.Bytes    // data consumed in the window
+	Resources Resources     // allocation in effect (effective cache!)
+}
+
+// Throughput is the sample's observed rate.
+func (s Sample) Throughput() unit.Bandwidth {
+	if s.Window <= 0 {
+		return 0
+	}
+	return unit.Bandwidth(float64(s.Bytes) / float64(s.Window))
+}
+
+// FitProfile estimates a job's profile from profiling samples taken at
+// a known dataset size. Samples whose allocation makes them IO-bound
+// reveal only the allocation (Eq. 4 floors at b/(1-c/d)); compute-bound
+// samples reveal f*. The fit takes the robust (median) rate of the
+// samples that exceed their own IO ceiling-implied rate — i.e. the
+// samples where the pipeline was compute-limited — and falls back to
+// the maximum observed rate when every sample was IO-bound (a lower
+// bound on f*, flagged via the returned bool).
+func FitProfile(datasetSize unit.Bytes, samples []Sample) (JobProfile, bool, error) {
+	if datasetSize <= 0 {
+		return JobProfile{}, false, fmt.Errorf("estimator: non-positive dataset size %v", datasetSize)
+	}
+	if len(samples) == 0 {
+		return JobProfile{}, false, fmt.Errorf("estimator: no profiling samples")
+	}
+	probe := JobProfile{IdealThroughput: unit.Bandwidth(math.Inf(1)), DatasetSize: datasetSize}
+	var computeBound []float64
+	maxRate := 0.0
+	for i, s := range samples {
+		if s.Window <= 0 || s.Bytes < 0 {
+			return JobProfile{}, false, fmt.Errorf("estimator: bad sample %d (%v over %v)", i, s.Bytes, s.Window)
+		}
+		rate := float64(s.Throughput())
+		if rate > maxRate {
+			maxRate = rate
+		}
+		// The IO ceiling for this sample's allocation; a rate at (or
+		// within tolerance of) the ceiling tells us nothing about f*.
+		ceiling := float64(probe.IOPerf(s.Resources))
+		if math.IsInf(ceiling, 1) || rate < ceiling*0.95 {
+			computeBound = append(computeBound, rate)
+		}
+	}
+	if maxRate <= 0 {
+		return JobProfile{}, false, fmt.Errorf("estimator: all samples show zero throughput")
+	}
+	if len(computeBound) == 0 {
+		// Every sample hit its IO ceiling: report the best observed
+		// rate as a lower bound on f*.
+		return JobProfile{IdealThroughput: unit.Bandwidth(maxRate), DatasetSize: datasetSize}, false, nil
+	}
+	sort.Float64s(computeBound)
+	med := computeBound[len(computeBound)/2]
+	if len(computeBound)%2 == 0 {
+		med = (computeBound[len(computeBound)/2-1] + computeBound[len(computeBound)/2]) / 2
+	}
+	return JobProfile{IdealThroughput: unit.Bandwidth(med), DatasetSize: datasetSize}, true, nil
+}

@@ -1,0 +1,96 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/unit"
+)
+
+func TestFitProfileComputeBound(t *testing.T) {
+	d := unit.GiB(143)
+	truth := JobProfile{IdealThroughput: unit.MBpsOf(114), DatasetSize: d}
+	// Samples with generous allocations: observed rate = f* with noise.
+	mk := func(rateMBps float64, r Resources) Sample {
+		return Sample{
+			Window:    60,
+			Bytes:     unit.Bytes(rateMBps * 60 * float64(unit.MB)),
+			Resources: r,
+		}
+	}
+	samples := []Sample{
+		mk(113, Resources{Cache: d, RemoteIO: 0}),
+		mk(115, Resources{Cache: d, RemoteIO: unit.MBpsOf(10)}),
+		mk(114, Resources{Cache: 0, RemoteIO: unit.MBpsOf(300)}),
+	}
+	got, confident, err := FitProfile(d, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !confident {
+		t.Error("compute-bound samples should give a confident fit")
+	}
+	if e := math.Abs(got.IdealThroughput.MBpsValue()-truth.IdealThroughput.MBpsValue()) / 114; e > 0.02 {
+		t.Errorf("fitted f* %v, want ~114", got.IdealThroughput)
+	}
+}
+
+func TestFitProfileIOBoundSamplesExcluded(t *testing.T) {
+	d := unit.GiB(143)
+	// Two throttled samples (pinned at their IO ceiling) and one
+	// compute-bound one; the fit must ignore the throttled pair.
+	samples := []Sample{
+		{Window: 60, Bytes: unit.Bytes(30 * 60 * float64(unit.MB)),
+			Resources: Resources{Cache: 0, RemoteIO: unit.MBpsOf(30)}},
+		{Window: 60, Bytes: unit.Bytes(50 * 60 * float64(unit.MB)),
+			Resources: Resources{Cache: 0, RemoteIO: unit.MBpsOf(50)}},
+		{Window: 60, Bytes: unit.Bytes(114 * 60 * float64(unit.MB)),
+			Resources: Resources{Cache: d, RemoteIO: 0}},
+	}
+	got, confident, err := FitProfile(d, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !confident {
+		t.Error("one compute-bound sample should suffice")
+	}
+	if math.Abs(got.IdealThroughput.MBpsValue()-114) > 1 {
+		t.Errorf("fitted f* %v polluted by IO-bound samples", got.IdealThroughput)
+	}
+}
+
+func TestFitProfileAllIOBound(t *testing.T) {
+	d := unit.GiB(143)
+	samples := []Sample{
+		{Window: 60, Bytes: unit.Bytes(30 * 60 * float64(unit.MB)),
+			Resources: Resources{Cache: 0, RemoteIO: unit.MBpsOf(30)}},
+		{Window: 60, Bytes: unit.Bytes(50 * 60 * float64(unit.MB)),
+			Resources: Resources{Cache: 0, RemoteIO: unit.MBpsOf(50)}},
+	}
+	got, confident, err := FitProfile(d, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confident {
+		t.Error("all-IO-bound samples reported as confident")
+	}
+	// Lower bound: the best observed rate.
+	if math.Abs(got.IdealThroughput.MBpsValue()-50) > 1 {
+		t.Errorf("lower bound %v, want 50", got.IdealThroughput)
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	if _, _, err := FitProfile(0, []Sample{{Window: 1, Bytes: 1}}); err == nil {
+		t.Error("zero dataset accepted")
+	}
+	if _, _, err := FitProfile(unit.GiB(1), nil); err == nil {
+		t.Error("no samples accepted")
+	}
+	if _, _, err := FitProfile(unit.GiB(1), []Sample{{Window: 0, Bytes: 1}}); err == nil {
+		t.Error("zero-window sample accepted")
+	}
+	if _, _, err := FitProfile(unit.GiB(1), []Sample{{Window: 1, Bytes: 0}}); err == nil {
+		t.Error("all-zero throughput accepted")
+	}
+}

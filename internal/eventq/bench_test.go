@@ -1,0 +1,20 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkScheduleAndStep(b *testing.B) {
+	q := New()
+	r := rand.New(rand.NewSource(1))
+	// Keep a working set of ~1024 pending events.
+	for i := 0; i < 1024; i++ {
+		q.Schedule(r.Float64()*1000, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+r.Float64()*1000, func() {})
+		q.Step()
+	}
+}

@@ -1,0 +1,145 @@
+// Package eventq implements the discrete-event queue at the heart of the
+// cluster simulator: a binary min-heap ordered by event time with stable
+// FIFO tie-breaking and O(log n) cancellation.
+package eventq
+
+import "container/heap"
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// from Queue.Schedule.
+type Event struct {
+	time  float64
+	seq   uint64
+	index int // position in heap, -1 when popped or cancelled
+	fn    func()
+}
+
+// Time reports when the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// Queue is a time-ordered event queue. It is not safe for concurrent use;
+// the simulator is single-threaded by design so event ordering is total
+// and runs are reproducible.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now float64
+}
+
+// New returns an empty queue starting at time 0.
+func New() *Queue { return &Queue{} }
+
+// Now reports the current simulation time: the fire time of the most
+// recently popped event.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time t. Events scheduled for the same
+// time fire in insertion order. Scheduling in the past (t < Now) is a
+// programming error and panics rather than silently reordering history.
+func (q *Queue) Schedule(t float64, fn func()) *Event {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	e := &Event{time: t, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After enqueues fn to run d time units from now.
+func (q *Queue) After(d float64, fn func()) *Event {
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes e from the queue if still pending. Cancelling an already
+// fired or cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index == -1 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Step pops and runs the earliest event. It reports false when the queue
+// is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.time
+	e.fn()
+	return true
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t.
+func (q *Queue) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].time <= t {
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// Run drains the queue completely, with an iteration guard: simulators
+// with event-rescheduling bugs would otherwise loop forever. It returns
+// the number of events processed and whether the guard tripped.
+func (q *Queue) Run(maxEvents int) (processed int, hitGuard bool) {
+	for q.Step() {
+		processed++
+		if maxEvents > 0 && processed >= maxEvents {
+			return processed, q.Len() > 0
+		}
+	}
+	return processed, false
+}
+
+// PeekTime returns the fire time of the earliest pending event. ok is
+// false when the queue is empty.
+func (q *Queue) PeekTime() (t float64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].time, true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import "testing"
+
+func TestAblationDesignChoicesQuick(t *testing.T) {
+	r, err := AblationDesignChoices(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Table())
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+}
+
+func TestAblationEngineCost(t *testing.T) {
+	r, err := AblationEngineCost(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fluid: %.0fmin %d events; batch: %.0fmin %d events",
+		r.FluidJCT.Minutes(), r.FluidEvents, r.BatchJCT.Minutes(), r.BatchEvents)
+	// The fluid engine must be orders of magnitude cheaper while
+	// agreeing with the batch ground truth within a few percent.
+	if r.FluidEvents*100 > r.BatchEvents {
+		t.Errorf("fluid engine not >100x cheaper: %d vs %d events", r.FluidEvents, r.BatchEvents)
+	}
+	err2 := (r.FluidJCT.Minutes() - r.BatchJCT.Minutes()) / r.BatchJCT.Minutes()
+	if err2 < 0 {
+		err2 = -err2
+	}
+	if err2 > 0.05 {
+		t.Errorf("engine disagreement %.1f%% exceeds 5%%", 100*err2)
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	r, err := AblationPrefetch(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Table())
+	// Prefetching must never hurt (it only uses idle resources).
+	if r.Prefetch.AvgJCT() > r.Baseline.AvgJCT()*101/100 {
+		t.Errorf("prefetch worsened JCT: %.0f -> %.0f min",
+			r.Baseline.AvgJCT().Minutes(), r.Prefetch.AvgJCT().Minutes())
+	}
+}
+
+func TestGavelObjectivesQuick(t *testing.T) {
+	r, err := GavelObjectives(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Table())
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AvgJCT <= 0 || row.Makespan <= 0 {
+			t.Errorf("objective %v produced empty results", row.Objective)
+		}
+	}
+}
+
+func TestMixedCluster(t *testing.T) {
+	r, err := MixedCluster(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Table())
+	if r.RegularJCTPartitioned <= 0 || r.IrregularJCTNaive <= 0 {
+		t.Fatal("missing results")
+	}
+	// Partitioning must not penalize the regular jobs relative to the
+	// naive mixing (the §6 guarantee).
+	if r.RegularJCTPartitioned > r.RegularJCTNaive*110/100 {
+		t.Errorf("partitioning hurt regular jobs: %.1f vs %.1f min",
+			r.RegularJCTPartitioned.Minutes(), r.RegularJCTNaive.Minutes())
+	}
+}

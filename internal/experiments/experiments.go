@@ -1,0 +1,142 @@
+// Package experiments implements one reproduction per table and figure
+// of the paper's evaluation (§7). Every experiment is deterministic
+// given its options, builds its own workload, runs the appropriate
+// engine(s), and renders the same rows or series the paper reports.
+// DESIGN.md carries the experiment index; EXPERIMENTS.md records
+// paper-versus-measured numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// Options control experiment scale. The zero value means "default
+// reproduction scale" — large enough to show every paper trend, small
+// enough to run in seconds to a few minutes.
+type Options struct {
+	Seed int64
+	// Jobs overrides the trace size for cluster experiments (0 = each
+	// experiment's default).
+	Jobs int
+	// Quick shrinks the cluster experiments further for unit tests.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Cluster presets follow Table 5: the remote IO limit scales down from
+// the production cluster with size, and cache provisioning follows the
+// 8-V100 micro-benchmark's 250 GB per GPU.
+func clusterPreset(gpus int) core.Cluster {
+	var egress unit.Bandwidth
+	switch {
+	case gpus <= 8:
+		egress = unit.Gbps(1.6) // 200 MB/s
+	case gpus <= 96:
+		egress = unit.Gbps(8) // 1 GB/s
+	default:
+		egress = unit.Gbps(32) // 4 GB/s
+	}
+	return core.Cluster{
+		GPUs:     gpus,
+		Cache:    unit.GiB(250) * unit.Bytes(gpus),
+		RemoteIO: egress,
+	}
+}
+
+// runOne builds the policy for (scheduler, cache system) and runs the
+// fluid simulator over the trace.
+func runOne(k policy.SchedulerKind, cs policy.CacheSystem, cl core.Cluster,
+	jobs []workload.JobSpec, seed int64, mutate func(*sim.Config)) (*sim.Result, error) {
+	pol, err := policy.Build(k, cs, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Cluster: cl,
+		Policy:  pol,
+		System:  cs,
+		Engine:  sim.Fluid,
+		Seed:    seed,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := sim.Run(cfg, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%v/%v: %w", k, cs, err)
+	}
+	return res, nil
+}
+
+// SystemResults maps cache systems to run results for one scheduler.
+type SystemResults map[policy.CacheSystem]*sim.Result
+
+// runSystems executes the trace under every cache system with the given
+// scheduler.
+func runSystems(k policy.SchedulerKind, cl core.Cluster, jobs []workload.JobSpec,
+	seed int64, mutate func(*sim.Config)) (SystemResults, error) {
+	out := make(SystemResults)
+	for _, cs := range policy.AllCacheSystems() {
+		res, err := runOne(k, cs, cl, jobs, seed, mutate)
+		if err != nil {
+			return nil, err
+		}
+		out[cs] = res
+	}
+	return out, nil
+}
+
+// traceFor generates the standard trace for a cluster experiment: load
+// factor ~1.3-1.4 over the window so the queue builds up as in the
+// paper's long traces.
+func traceFor(o Options, gpus, defaultJobs int, window unit.Duration) ([]workload.JobSpec, error) {
+	n := defaultJobs
+	if o.Jobs > 0 {
+		n = o.Jobs
+	}
+	if o.Quick {
+		// Preserve the offered load when shrinking: fewer jobs over a
+		// proportionally shorter window.
+		shrunk := max(10, n/10)
+		window = unit.Duration(float64(window) * float64(shrunk) / float64(n))
+		n = shrunk
+	}
+	cfg := workload.DefaultTraceConfig(o.seed(), n, window)
+	return workload.Generate(cfg)
+}
+
+// seriesMeanUpTo is the time-weighted mean of s over [0, tMax].
+func seriesMeanUpTo(s *stats.Series, tMax float64) float64 {
+	if s == nil || s.Len() == 0 {
+		return 0
+	}
+	var tw stats.TimeWeighted
+	for i := 0; i < s.Len(); i++ {
+		t, v := s.At(i)
+		if t > tMax {
+			break
+		}
+		tw.Observe(t, v)
+	}
+	return tw.Finish(tMax)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

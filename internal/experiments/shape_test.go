@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestTable6FidelityQuick checks the headline fidelity claim on the
+// micro-benchmark: the fluid engine agrees with the block-level batch
+// engine within a few percent for the deterministic systems (the paper
+// reports 0.4-3.0% for its simulator).
+func TestTable6FidelityQuick(t *testing.T) {
+	r, err := Table6(Table6Options{Options: Options{Seed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.System == policy.Quiver {
+			// Quiver's profiling noise draws differently per engine;
+			// its spread reflects its own run-to-run variance.
+			continue
+		}
+		e := math.Abs(row.FluidJCT.Minutes()-row.BatchJCT.Minutes()) / row.BatchJCT.Minutes()
+		t.Logf("%v: batch=%.0f fluid=%.0f err=%.2f%%", row.System,
+			row.BatchJCT.Minutes(), row.FluidJCT.Minutes(), 100*e)
+		limit := 0.05
+		if row.System == policy.Alluxio {
+			limit = 0.12 // the Che approximation is analytic, not exact
+		}
+		if e > limit {
+			t.Errorf("%v fidelity error %.1f%% exceeds %.0f%%", row.System, 100*e, 100*limit)
+		}
+	}
+	// The paper's Table 6 ordering: SiloD best, Alluxio worst.
+	byJCT := map[policy.CacheSystem]float64{}
+	for _, row := range r.Rows {
+		byJCT[row.System] = row.BatchJCT.Minutes()
+	}
+	if byJCT[policy.SiloD] >= byJCT[policy.CoorDL] || byJCT[policy.SiloD] >= byJCT[policy.Alluxio] {
+		t.Errorf("SiloD not best: %v", byJCT)
+	}
+}
+
+// TestFigure12QuickStructure validates the matrix is complete and that
+// SiloD never loses badly in any cell even at the tiny quick scale.
+func TestFigure12QuickStructure(t *testing.T) {
+	r, err := Figure12(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range policy.AllSchedulerKinds() {
+		res, ok := r.Results[k]
+		if !ok {
+			t.Fatalf("missing scheduler %v", k)
+		}
+		silod := res[policy.SiloD].AvgJCT().Minutes()
+		for _, cs := range policy.AllCacheSystems() {
+			rr, ok := res[cs]
+			if !ok || len(rr.Jobs) == 0 {
+				t.Fatalf("missing %v/%v", k, cs)
+			}
+			if v := rr.AvgJCT().Minutes(); v < silod*0.9 {
+				t.Errorf("%v/%v JCT %.0f clearly beats SiloD %.0f", k, cs, v, silod)
+			}
+		}
+	}
+	for _, cs := range policy.AllCacheSystems() {
+		if r.Fairness[cs] == nil {
+			t.Errorf("missing fairness series for %v", cs)
+		}
+	}
+}
+
+// TestFigure14bTrendQuick: faster GPUs must not shrink SiloD's gain
+// over Quiver (the paper's Figure 14b trend).
+func TestFigure14bTrendQuick(t *testing.T) {
+	r, err := Figure14b(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gains: %v", r.Gain)
+	if len(r.Gain) != 3 {
+		t.Fatalf("%d points", len(r.Gain))
+	}
+	if r.Gain[2] < r.Gain[0]*0.9 {
+		t.Errorf("gain shrank with GPU speed: %v", r.Gain)
+	}
+}
+
+// TestFigure15QuickStructure: the sharing sweep is complete and sharing
+// never hurts at the Gavel row.
+func TestFigure15QuickStructure(t *testing.T) {
+	r, err := Figure15(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SharePercent) != 4 {
+		t.Fatalf("%d share points", len(r.SharePercent))
+	}
+	for _, k := range policy.AllSchedulerKinds() {
+		if len(r.JCT[k]) != 4 {
+			t.Fatalf("missing JCT series for %v", k)
+		}
+		first, last := r.JCT[k][0], r.JCT[k][3]
+		t.Logf("%v: %.0f -> %.0f min (0%% -> 100%% sharing)", k, first, last)
+		if last > first*1.15 {
+			t.Errorf("%v: full sharing made JCT worse: %.0f -> %.0f", k, first, last)
+		}
+	}
+}
+
+// TestAblationNoIOQuick: the §7.2 ablation direction — disabling IO
+// control must not improve fairness.
+func TestAblationNoIOQuick(t *testing.T) {
+	r, err := AblationNoIO(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := r.WithControl.AvgFairness()
+	without := r.WithoutControl.AvgFairness()
+	t.Logf("fairness with=%.2f without=%.2f", with, without)
+	if without > with*1.1 {
+		t.Errorf("disabling IO control improved fairness: %.2f -> %.2f", with, without)
+	}
+}
+
+// TestFigure2Quick: the no-cache demand peak exceeds the Table 5 egress
+// limit — the paper's motivating bottleneck.
+func TestFigure2Quick(t *testing.T) {
+	r, err := Figure2(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("peak demand %.0f Gbps", r.Peak)
+	if r.Peak < 32 {
+		t.Errorf("peak demand %.0f Gbps below the 32 Gbps egress limit — no bottleneck to solve", r.Peak)
+	}
+}
+
+// TestFigure10FidelityQuick: the engines agree within the paper's
+// tolerance at reduced 96-GPU scale.
+func TestFigure10FidelityQuick(t *testing.T) {
+	r, err := Figure10Fidelity(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Table())
+	for _, row := range r.Rows {
+		if row.JCTError() > 0.06 {
+			t.Errorf("%v JCT error %.1f%% exceeds the paper's 5.7%% envelope+margin", row.System, 100*row.JCTError())
+		}
+		if row.MSError() > 0.09 {
+			t.Errorf("%v makespan error %.1f%% exceeds 8.5%%+margin", row.System, 100*row.MSError())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+// admitGangs grants GPUs to jobs in the given order, all-or-nothing per
+// gang, first-fit (a job too large for the remaining GPUs is skipped
+// rather than blocking the queue, as DL cluster schedulers do). The
+// returned map contains only admitted jobs.
+func admitGangs(totalGPUs int, ordered []core.JobView) map[string]int {
+	grants := make(map[string]int)
+	free := totalGPUs
+	for _, j := range ordered {
+		if j.NumGPUs <= free {
+			grants[j.ID] = j.NumGPUs
+			free -= j.NumGPUs
+		}
+	}
+	return grants
+}
+
+// runningFirst returns jobs reordered so currently running jobs come
+// first (in queue order), implementing non-preemptive admission.
+func runningFirst(ordered []core.JobView) []core.JobView {
+	out := make([]core.JobView, 0, len(ordered))
+	for _, j := range ordered {
+		if j.Running {
+			out = append(out, j)
+		}
+	}
+	for _, j := range ordered {
+		if !j.Running {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// admittedViews filters jobs down to those with a GPU grant.
+func admittedViews(jobs []core.JobView, grants map[string]int) []core.JobView {
+	out := make([]core.JobView, 0, len(grants))
+	for _, j := range jobs {
+		if grants[j.ID] > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// FIFO admits jobs in submission order without preemption and delegates
+// storage to the configured allocator. With Storage set to
+// GreedyAllocator this is FIFO-SiloD (§5.3: SiloD follows the FIFO
+// order and allocates cache/remote IO for the scheduled jobs); with a
+// baseline allocator it reproduces the paper's FIFO-on-Alluxio /
+// CoorDL / Quiver configurations.
+type FIFO struct {
+	Storage StorageAllocator
+}
+
+// Name implements core.Policy.
+func (f *FIFO) Name() string { return "fifo+" + f.Storage.Name() }
+
+// Assign implements core.Policy.
+func (f *FIFO) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
+	a := core.NewAssignment()
+	ordered := runningFirst(core.SortJobs(jobs))
+	a.GPUs = admitGangs(c.GPUs, ordered)
+	running := admittedViews(jobs, a.GPUs)
+	if qa, ok := f.Storage.(QueueAwareAllocator); ok {
+		var queued []core.JobView
+		for _, j := range jobs {
+			if a.GPUs[j.ID] == 0 {
+				queued = append(queued, j)
+			}
+		}
+		qa.AllocateStorageQueued(c, running, queued, &a)
+		return a
+	}
+	f.Storage.AllocateStorage(c, running, &a)
+	return a
+}
+
+var _ core.Policy = (*FIFO)(nil)

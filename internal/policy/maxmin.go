@@ -1,0 +1,418 @@
+// Package policy implements the scheduling policies SiloD evaluates
+// (§5, §7): FIFO, multi-resource SJF (Tetris/Tiresias style, Eq. 6/7)
+// and Gavel max-min fairness (Eq. 8/9) — each in a vanilla,
+// storage-oblivious form and a SiloD-enhanced form that jointly
+// allocates GPUs, cache and remote IO — plus the storage allocators of
+// the baseline cache systems (Alluxio/LRU, CoorDL, Quiver) and SiloD's
+// greedy policy (Algorithm 2).
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/unit"
+)
+
+// storageJob is one job in the max-min storage program: a job that has
+// already been granted GPUs and now competes for cache and remote IO.
+type storageJob struct {
+	view core.JobView
+	// perfEqual is SiloDPerf under the equal division R_equal (Eq. 8's
+	// denominator), in bytes/s.
+	perfEqual float64
+}
+
+// StorageAlloc is the result of the max-min storage program for one job.
+type StorageAlloc struct {
+	Cache    unit.Bytes     // allocated to the job's dataset (shared datasets merged by caller)
+	RemoteIO unit.Bandwidth // allocated to the job
+	Perf     unit.Bandwidth // resulting SiloDPerf
+}
+
+// MaxMinStorage solves the storage part of Eq. 9 exactly: maximize the
+// minimum normalized performance min_j SiloDPerf(j, R_j)/SiloDPerf(j,
+// R_equal) subject to Σ cache <= totalCache and Σ remoteIO <= totalIO,
+// then progressively fills: jobs whose performance saturates at f* are
+// frozen at their minimal allocation and the remaining resources are
+// re-maximized over the rest, and any final slack is spent by cache
+// efficiency. Datasets shared by several jobs are charged once and the
+// merged demand is considered jointly (§6).
+//
+// The inner feasibility test exploits the closed form (Eq. 4): to give
+// job j throughput t with cache c it needs remote IO t·(1-c/d), so a
+// byte of cache on dataset D saves Σ_{j∈D} t_j/d bytes/s of bandwidth —
+// cache therefore goes to datasets in decreasing order of that ratio,
+// and feasibility reduces to a single bandwidth comparison.
+func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.JobView) map[string]StorageAlloc {
+	out := make(map[string]StorageAlloc, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	// Equal division: every job gets cache/n on its dataset and io/n.
+	n := float64(len(jobs))
+	sjobs := make([]storageJob, 0, len(jobs))
+	for _, j := range jobs {
+		equal := estimator.Resources{
+			Cache:    unit.Bytes(float64(totalCache) / n),
+			RemoteIO: unit.Bandwidth(float64(totalIO) / n),
+		}
+		pe := float64(j.Profile.Perf(equal))
+		if pe <= 0 {
+			// A job that can make no progress even under equal share
+			// (e.g. zero bandwidth and no cache): normalize by f* so the
+			// program remains well-defined.
+			pe = float64(j.Profile.IdealThroughput)
+		}
+		sjobs = append(sjobs, storageJob{view: j, perfEqual: pe})
+	}
+
+	active := sjobs
+	remCache := float64(totalCache)
+	remIO := float64(totalIO)
+	// Progressive filling: at most len(jobs) rounds.
+	for len(active) > 0 {
+		lambda := maxFeasibleLambda(remCache, remIO, active)
+		alloc, _ := allocateForLambda(remCache, remIO, active, lambda)
+		// Jobs capped at f* under this lambda are saturated: freeze them.
+		var next []storageJob
+		frozeAny := false
+		for i, sj := range active {
+			target := math.Min(lambda*sj.perfEqual, float64(sj.view.Profile.IdealThroughput))
+			saturated := target >= float64(sj.view.Profile.IdealThroughput)-1e-9
+			if saturated {
+				out[sj.view.ID] = alloc[i]
+				remCache -= float64(alloc[i].Cache)
+				remIO -= float64(alloc[i].RemoteIO)
+				frozeAny = true
+			} else {
+				next = append(next, sj)
+			}
+		}
+		if !frozeAny {
+			// No job saturated: the bottleneck binds all remaining jobs;
+			// record their allocations and stop.
+			for i, sj := range active {
+				out[sj.view.ID] = alloc[i]
+				remCache -= float64(alloc[i].Cache)
+				remIO -= float64(alloc[i].RemoteIO)
+			}
+			break
+		}
+		active = next
+	}
+	spendSlack(remCache, remIO, jobs, out)
+	mergeSharedCache(jobs, out)
+	return out
+}
+
+// maxFeasibleLambda bisects on the normalized rate.
+func maxFeasibleLambda(remCache, remIO float64, jobs []storageJob) float64 {
+	// Upper bound: the largest f*/perfEqual ratio.
+	hi := 0.0
+	for _, sj := range jobs {
+		r := float64(sj.view.Profile.IdealThroughput) / sj.perfEqual
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	lo := 0.0
+	if _, ok := allocateForLambda(remCache, remIO, jobs, hi); ok {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if _, ok := allocateForLambda(remCache, remIO, jobs, mid); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// allocateForLambda computes the cheapest allocation giving every job
+// throughput min(lambda·perfEqual, f*), and reports whether it fits in
+// the budgets. Cache is assigned to dataset groups in decreasing order
+// of bandwidth-saved-per-byte.
+func allocateForLambda(remCache, remIO float64, jobs []storageJob, lambda float64) ([]StorageAlloc, bool) {
+	type group struct {
+		size    float64 // dataset size d
+		rate    float64 // Σ targets of jobs in the group
+		eff     float64 // max effective-cached fraction among members
+		members []int
+		cache   float64
+	}
+	groups := make(map[string]*group)
+	targets := make([]float64, len(jobs))
+	var order []string
+	for i, sj := range jobs {
+		t := math.Min(lambda*sj.perfEqual, float64(sj.view.Profile.IdealThroughput))
+		targets[i] = t
+		key := sj.view.DatasetKey
+		g, ok := groups[key]
+		if !ok {
+			g = &group{size: float64(sj.view.DatasetSize)}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rate += t
+		if f := float64(sj.view.CachedBytes) / math.Max(float64(sj.view.DatasetSize), 1); f > g.eff {
+			g.eff = f
+		}
+		g.members = append(g.members, i)
+	}
+	// Bandwidth saved per cache byte on group g is g.rate/g.size, with
+	// the warm-data hysteresis used throughout SiloD's allocators:
+	// already-effective datasets win near-ties so quotas stay stable as
+	// the job set churns.
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		ea := ga.rate / math.Max(ga.size, 1) * (1 + 0.5*ga.eff)
+		eb := gb.rate / math.Max(gb.size, 1) * (1 + 0.5*gb.eff)
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+	cacheLeft := remCache
+	for _, key := range order {
+		g := groups[key]
+		give := math.Min(g.size, cacheLeft)
+		g.cache = give
+		cacheLeft -= give
+	}
+	// Required bandwidth per job: t_j · (1 - c/d), the steady-state
+	// demand at the planned cache (Eq. 2). Warm-up transients are the
+	// bandwidth program's concern (MaxMinBandwidth sizes actual grants
+	// effective-aware); the cache program plans the steady state, as
+	// the paper's formulation does.
+	allocs := make([]StorageAlloc, len(jobs))
+	var totalIO float64
+	for _, g := range groups {
+		for _, i := range g.members {
+			miss := 1 - g.cache/math.Max(g.size, 1)
+			if miss < 0 {
+				miss = 0
+			}
+			b := targets[i] * miss
+			totalIO += b
+			allocs[i] = StorageAlloc{
+				Cache:    unit.Bytes(g.cache / float64(len(g.members))), // provisional split; merged later
+				RemoteIO: unit.Bandwidth(b),
+				Perf:     unit.Bandwidth(targets[i]),
+			}
+		}
+	}
+	return allocs, totalIO <= remIO*(1+1e-9)+1e-6
+}
+
+// spendSlack distributes leftover cache (by cache efficiency, Eq. 5)
+// and leftover bandwidth (to unsaturated jobs) so no resource idles
+// while any job could use it. This cannot reduce any job's allocation,
+// so the max-min optimum is preserved.
+func spendSlack(remCache, remIO float64, jobs []core.JobView, out map[string]StorageAlloc) {
+	if remCache < 0 {
+		remCache = 0
+	}
+	if remIO < 0 {
+		remIO = 0
+	}
+	// Cache by efficiency: group jobs by dataset; efficiency of a
+	// dataset is Σ f*/d of its jobs.
+	type dgroup struct {
+		key  string
+		size float64
+		eff  float64
+		have float64
+		jobs []string
+	}
+	groups := make(map[string]*dgroup)
+	for _, j := range jobs {
+		g, ok := groups[j.DatasetKey]
+		if !ok {
+			g = &dgroup{key: j.DatasetKey, size: float64(j.DatasetSize)}
+			groups[j.DatasetKey] = g
+		}
+		g.eff += float64(j.Profile.IdealThroughput) / math.Max(float64(j.DatasetSize), 1)
+		g.have += float64(out[j.ID].Cache)
+		g.jobs = append(g.jobs, j.ID)
+	}
+	ordered := make([]*dgroup, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].eff != ordered[b].eff {
+			return ordered[a].eff > ordered[b].eff
+		}
+		return ordered[a].key < ordered[b].key
+	})
+	for _, g := range ordered {
+		if remCache <= 0 {
+			break
+		}
+		room := g.size - g.have
+		if room <= 0 {
+			continue
+		}
+		give := math.Min(room, remCache)
+		remCache -= give
+		// Spread the extra across the group's jobs (merged per dataset
+		// afterwards anyway).
+		per := give / float64(len(g.jobs))
+		for _, id := range g.jobs {
+			a := out[id]
+			a.Cache += unit.Bytes(per)
+			out[id] = a
+		}
+	}
+	// Bandwidth to unsaturated jobs, equal split refined per round.
+	for round := 0; round < 4 && remIO > 1e-6; round++ {
+		var unsat []core.JobView
+		for _, j := range jobs {
+			a := out[j.ID]
+			if float64(a.Perf) < float64(j.Profile.IdealThroughput)-1e-9 {
+				unsat = append(unsat, j)
+			}
+		}
+		if len(unsat) == 0 {
+			break
+		}
+		per := remIO / float64(len(unsat))
+		for _, j := range unsat {
+			a := out[j.ID]
+			// Extra bandwidth raises perf by Eq. 3 up to f*; cap the
+			// grant at what reaches f*.
+			miss := 1 - math.Min(float64(a.Cache)/math.Max(float64(j.DatasetSize), 1), 1)
+			need := (float64(j.Profile.IdealThroughput) - float64(a.Perf)) * miss
+			give := math.Min(per, need)
+			if give <= 0 {
+				continue
+			}
+			a.RemoteIO += unit.Bandwidth(give)
+			a.Perf = j.Profile.Perf(estimator.Resources{Cache: a.Cache, RemoteIO: a.RemoteIO})
+			out[j.ID] = a
+			remIO -= give
+		}
+	}
+}
+
+// mergeSharedCache recomputes every job's Perf against the full merged
+// cache of its dataset (jobs sharing a dataset each benefit from the
+// whole dataset allocation, while the caller charges it once).
+func mergeSharedCache(jobs []core.JobView, out map[string]StorageAlloc) {
+	totals := make(map[string]unit.Bytes)
+	for _, j := range jobs {
+		totals[j.DatasetKey] += out[j.ID].Cache
+	}
+	for _, j := range jobs {
+		a := out[j.ID]
+		merged := totals[j.DatasetKey]
+		if merged > j.DatasetSize {
+			merged = j.DatasetSize
+		}
+		a.Perf = j.Profile.Perf(estimator.Resources{Cache: merged, RemoteIO: a.RemoteIO})
+		out[j.ID] = a
+	}
+}
+
+// MaxMinBandwidth solves the bandwidth-only max-min program with cache
+// quotas fixed: maximize min_j min(f*, b_j/(1-q_j/d_j)) / perfEqual_j
+// subject to Σ b_j <= total, where perfEqual is SiloDPerf under the
+// equal storage division among the n running jobs. Grants are sized
+// against the *effective* cache (warming datasets need their full
+// current demand to hit the target now), which also satisfies the
+// planned-quota objective since q >= effective. The required bandwidth
+// is monotone in the normalized rate λ, so bisection is exact; leftover
+// bandwidth (from jobs capped at f*) should be spent by the caller.
+func MaxMinBandwidth(cl core.Cluster, total unit.Bandwidth, running []core.JobView,
+	quota map[string]unit.Bytes) map[string]unit.Bandwidth {
+	out := make(map[string]unit.Bandwidth, len(running))
+	if len(running) == 0 {
+		return out
+	}
+	n := float64(len(running))
+	equal := estimator.Resources{
+		Cache:    unit.Bytes(float64(cl.Cache) / n),
+		RemoteIO: unit.Bandwidth(float64(cl.RemoteIO) / n),
+	}
+	pe := make([]float64, len(running))
+	missEff := make([]float64, len(running))
+	hi := 0.0
+	for i, j := range running {
+		p := float64(j.Profile.Perf(equal))
+		if p <= 0 {
+			p = float64(j.Profile.IdealThroughput)
+		}
+		pe[i] = p
+		covered := float64(quota[j.DatasetKey])
+		if e := float64(j.EffectiveCached); e < covered {
+			covered = e
+		}
+		d := math.Max(float64(j.DatasetSize), 1)
+		m := 1 - covered/d
+		if m < 0 {
+			m = 0
+		}
+		missEff[i] = m
+		if r := float64(j.Profile.IdealThroughput) / p; r > hi {
+			hi = r
+		}
+	}
+	needed := func(lambda float64) float64 {
+		var s float64
+		for i, j := range running {
+			t := math.Min(lambda*pe[i], float64(j.Profile.IdealThroughput))
+			s += t * missEff[i]
+		}
+		return s
+	}
+	budget := float64(total)
+	lo := 0.0
+	if needed(hi) <= budget {
+		lo = hi
+	} else {
+		for k := 0; k < 60; k++ {
+			mid := (lo + hi) / 2
+			if needed(mid) <= budget {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	for i, j := range running {
+		t := math.Min(lo*pe[i], float64(j.Profile.IdealThroughput))
+		out[j.ID] = unit.Bandwidth(t * missEff[i])
+	}
+	return out
+}
+
+// DatasetQuotas folds per-job cache allocations into per-dataset quotas
+// (charging shared datasets once, capped at dataset size).
+func DatasetQuotas(jobs []core.JobView, allocs map[string]StorageAlloc) map[string]unit.Bytes {
+	quota := make(map[string]unit.Bytes)
+	size := make(map[string]unit.Bytes)
+	for _, j := range jobs {
+		quota[j.DatasetKey] += allocs[j.ID].Cache
+		size[j.DatasetKey] = j.DatasetSize
+	}
+	for k, q := range quota {
+		if q > size[k] {
+			q = size[k]
+		}
+		if q < 0 {
+			// Guard against float round-off from the slack pass; a
+			// negative quota would be rejected by Assignment.Validate.
+			q = 0
+		}
+		quota[k] = q
+	}
+	return quota
+}

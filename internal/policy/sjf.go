@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+// SJF is multi-resource shortest-job-first (Tetris [30] / Tiresias [34]
+// unified, §5.1): each job's score is its weighted resource footprint
+// multiplied by its remaining duration (Eq. 6), and jobs are scheduled
+// in ascending score order.
+//
+// In the vanilla form the performance estimator ignores storage, so the
+// score is (g/G) · remaining/f* and cache/remote IO come from the
+// configured baseline allocator. In the Enhanced form the estimator is
+// SiloDPerf (Eq. 7): the score minimizes over cache allocations —
+// because the footprint is linear in c the minimum is at c = 0 or
+// c = d — and the policy then allocates each admitted job its
+// score-minimizing storage in score order, which implicitly favors
+// cache-efficient jobs (§5.1).
+type SJF struct {
+	Enhanced bool
+	// Storage is the baseline allocator used when Enhanced is false.
+	Storage StorageAllocator
+}
+
+// Name implements core.Policy.
+func (s *SJF) Name() string {
+	if s.Enhanced {
+		return "sjf+silod"
+	}
+	return "sjf+" + s.Storage.Name()
+}
+
+// sjfScore evaluates Eq. 6/7 for one job, returning the score and the
+// score-minimizing cache choice (0 or the full dataset). Weights are
+// w_t = 1/totalResource[t] per Tetris [30].
+func sjfScore(c core.Cluster, j core.JobView, enhanced bool) (score float64, wantCache unit.Bytes) {
+	g := float64(j.NumGPUs) / math.Max(float64(c.GPUs), 1)
+	fstar := float64(j.Profile.IdealThroughput)
+	rem := float64(j.RemainingBytes)
+	if fstar <= 0 {
+		return math.Inf(1), 0
+	}
+	duration := rem / fstar
+	if !enhanced {
+		return g * duration, 0
+	}
+	d := float64(j.DatasetSize)
+	wc := 1 / math.Max(float64(c.Cache), 1)
+	wb := 1 / math.Max(float64(c.RemoteIO), 1)
+	// c = 0: footprint g/G + f*·w_b (full remote IO demand).
+	score0 := (g + wb*fstar) * duration
+	// c = d: footprint g/G + d·w_c (no remote IO needed).
+	scoreD := (g + wc*d) * duration
+	if scoreD < score0 {
+		return scoreD, unit.Bytes(d)
+	}
+	return score0, 0
+}
+
+// Assign implements core.Policy. SJF is preemptive at scheduling-round
+// granularity, as in Tiresias: the score order alone decides who runs.
+func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
+	a := core.NewAssignment()
+	type scored struct {
+		view      core.JobView
+		score     float64
+		wantCache unit.Bytes
+	}
+	items := make([]scored, 0, len(jobs))
+	for _, j := range jobs {
+		sc, want := sjfScore(c, j, s.Enhanced)
+		items = append(items, scored{j, sc, want})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].score != items[j].score {
+			return items[i].score < items[j].score
+		}
+		return items[i].view.ID < items[j].view.ID
+	})
+	ordered := make([]core.JobView, len(items))
+	for i, it := range items {
+		ordered[i] = it.view
+	}
+	a.GPUs = admitGangs(c.GPUs, ordered)
+
+	running := admittedViews(jobs, a.GPUs)
+	if !s.Enhanced {
+		s.Storage.AllocateStorage(c, running, &a)
+		return a
+	}
+
+	// Integrated storage allocation in score order: each admitted job
+	// receives its score-minimizing cache (partial if the pool is
+	// nearly full — Eq. 4 still benefits from partial caching) and the
+	// remote IO to stay compute-bound.
+	remCache := c.Cache
+	for _, it := range items {
+		if a.GPUs[it.view.ID] == 0 {
+			continue
+		}
+		key := it.view.DatasetKey
+		have := a.CacheQuota[key]
+		want := it.wantCache
+		if want > it.view.DatasetSize {
+			want = it.view.DatasetSize
+		}
+		if want > have {
+			extra := want - have
+			if extra > remCache {
+				extra = remCache
+			}
+			a.CacheQuota[key] = have + extra
+			remCache -= extra
+		}
+	}
+	// Remote IO in score order: the jobs SJF wants done first get their
+	// demand first, so their warm-up (and completion) is never gated on
+	// an equal split.
+	scoreRank := make(map[string]int, len(items))
+	for i, it := range items {
+		scoreRank[it.view.ID] = i
+	}
+	allocRemoteIOPriority(c.RemoteIO, running, &a, func(x, y core.JobView) bool {
+		return scoreRank[x.ID] < scoreRank[y.ID]
+	})
+	return a
+}
+
+var _ core.Policy = (*SJF)(nil)

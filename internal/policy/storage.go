@@ -1,0 +1,443 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+// StorageAllocator decides cache quotas (and, for SiloD, remote IO) for
+// jobs that have already been granted GPUs. Baseline cache systems
+// implement this interface so they can be composed with any GPU policy;
+// they leave Assignment.RemoteIO empty, which the simulator interprets
+// as provider-controlled fair sharing (§7.2).
+type StorageAllocator interface {
+	Name() string
+	// AllocateStorage fills a.CacheQuota (and optionally a.RemoteIO)
+	// for the running jobs.
+	AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment)
+}
+
+// QueueAwareAllocator is the optional extension for allocators that
+// also plan cache for queued jobs (dataset prefetching); policies that
+// know their queue probe for it.
+type QueueAwareAllocator interface {
+	AllocateStorageQueued(c core.Cluster, running, queued []core.JobView, a *core.Assignment)
+}
+
+// GreedyAllocator is Algorithm 2: datasets are cached in descending
+// order of cache efficiency (Σ f*/d over the jobs sharing the dataset,
+// §6) until the cache is full; partial caching is allowed. Remote IO is
+// then divided max-min fairly over instantaneous demands, with a
+// warm-up investment pass funding the most cache-efficient filling
+// datasets first. This is the policy SiloD uses with estimator-free
+// schedulers (§5.3).
+//
+// The three flags disable individual design choices for the ablation
+// benchmarks; production use leaves them false.
+type GreedyAllocator struct {
+	// WholeDatasetsOnly disables partial caching (Quiver-style
+	// placement granularity).
+	WholeDatasetsOnly bool
+	// NoHysteresis disables the warm-data tie-breaking, letting
+	// equal-efficiency datasets churn quotas as the job set changes.
+	NoHysteresis bool
+	// PlainFairIO disables the warm-up investment pass: remote IO is a
+	// plain max-min fair division over demands.
+	PlainFairIO bool
+	// PrefetchQueued enables the Hoard-style extension (related work
+	// [58]): cache left over after the running jobs' datasets is
+	// allocated to *queued* jobs' datasets in cache-efficiency order,
+	// so idle egress bandwidth can warm them before they start.
+	PrefetchQueued bool
+}
+
+// Name implements StorageAllocator.
+func (GreedyAllocator) Name() string { return "silod-greedy" }
+
+// AllocateStorage implements StorageAllocator.
+func (g GreedyAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
+	type dgroup struct {
+		key        string
+		size       unit.Bytes
+		eff        float64 // Σ f*/d (line 2 of Algorithm 2, summed per §6)
+		cachedFrac float64
+	}
+	groups := make(map[string]*dgroup)
+	var order []string
+	for _, j := range running {
+		g, ok := groups[j.DatasetKey]
+		if !ok {
+			g = &dgroup{key: j.DatasetKey, size: j.DatasetSize}
+			groups[j.DatasetKey] = g
+			order = append(order, j.DatasetKey)
+		}
+		g.eff += float64(j.Profile.IdealThroughput) / math.Max(float64(j.DatasetSize), 1)
+		if f := float64(j.CachedBytes) / math.Max(float64(j.DatasetSize), 1); f > g.cachedFrac {
+			g.cachedFrac = f
+		}
+	}
+	// Warm-data hysteresis: evicting effective cache hurts immediately
+	// while newly granted cache only pays off next epoch (§6), so an
+	// already-cached dataset wins ties (and near-ties) against a cold
+	// one of equal cache efficiency. Without this, the many
+	// equal-efficiency private datasets in a production trace reshuffle
+	// quotas on every job arrival and the cluster pays a constant
+	// re-warm-up tax.
+	hyst := 0.5
+	if g.NoHysteresis {
+		hyst = 0
+	}
+	sort.Slice(order, func(x, y int) bool {
+		gx, gy := groups[order[x]], groups[order[y]]
+		ex := gx.eff * (1 + hyst*gx.cachedFrac)
+		ey := gy.eff * (1 + hyst*gy.cachedFrac)
+		if ex != ey {
+			return ex > ey
+		}
+		return gx.key < gy.key
+	})
+	totalCache := c.Cache
+	for _, key := range order {
+		grp := groups[key]
+		give := grp.size
+		if give > totalCache {
+			if g.WholeDatasetsOnly {
+				a.CacheQuota[key] = 0
+				continue
+			}
+			give = totalCache
+		}
+		a.CacheQuota[key] = give
+		totalCache -= give
+	}
+	if g.PlainFairIO {
+		allocRemoteIOFair(c.RemoteIO, running, a)
+		return
+	}
+	// Remote IO: grant full demand in the same cache-efficiency order.
+	// Efficient jobs have small datasets, so funding their warm-up
+	// first converts bandwidth into cache hits within minutes and
+	// releases the bandwidth for the next tier — the cascade that lets
+	// the cluster approach ideal throughput (Figure 11). An equal
+	// split would leave every cache cold for hours.
+	rank := make(map[string]int, len(order))
+	for i, key := range order {
+		rank[key] = i
+	}
+	allocRemoteIOPriority(c.RemoteIO, running, a, func(x, y core.JobView) bool {
+		if rank[x.DatasetKey] != rank[y.DatasetKey] {
+			return rank[x.DatasetKey] < rank[y.DatasetKey]
+		}
+		return x.ID < y.ID
+	})
+}
+
+// AllocateStorageQueued implements QueueAwareAllocator: after the
+// normal allocation for running jobs, leftover cache goes to queued
+// jobs' datasets in cache-efficiency order so the data plane can
+// prefetch them with idle egress bandwidth.
+func (g GreedyAllocator) AllocateStorageQueued(c core.Cluster, running, queued []core.JobView, a *core.Assignment) {
+	g.AllocateStorage(c, running, a)
+	if !g.PrefetchQueued || len(queued) == 0 {
+		return
+	}
+	var used unit.Bytes
+	for _, q := range a.CacheQuota {
+		used += q
+	}
+	leftover := c.Cache - used
+	if leftover <= 0 {
+		return
+	}
+	type dgroup struct {
+		key  string
+		size unit.Bytes
+		eff  float64
+	}
+	groups := make(map[string]*dgroup)
+	var order []string
+	for _, j := range queued {
+		if _, taken := a.CacheQuota[j.DatasetKey]; taken {
+			continue // already funded for a running job
+		}
+		grp, ok := groups[j.DatasetKey]
+		if !ok {
+			grp = &dgroup{key: j.DatasetKey, size: j.DatasetSize}
+			groups[j.DatasetKey] = grp
+			order = append(order, j.DatasetKey)
+		}
+		grp.eff += float64(j.Profile.IdealThroughput) / math.Max(float64(j.DatasetSize), 1)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		gx, gy := groups[order[x]], groups[order[y]]
+		if gx.eff != gy.eff {
+			return gx.eff > gy.eff
+		}
+		return gx.key < gy.key
+	})
+	for _, key := range order {
+		grp := groups[key]
+		give := grp.size
+		if give > leftover {
+			give = leftover
+		}
+		if give <= 0 {
+			break
+		}
+		a.CacheQuota[key] = give
+		leftover -= give
+	}
+}
+
+// allocRemoteIOPriority divides remote IO in two stages. First a plain
+// max-min water-fill over instantaneous demands — the provider-neutral
+// division that fully satisfies every small demand. Then a warm-up
+// investment: jobs whose granted cache quota is not yet effective are
+// topped up toward their full demand (in the given priority order,
+// i.e. cache-efficiency order), funded by taxing half the grants of the
+// *unsatisfied non-warming* jobs. Warming an efficient dataset is a
+// one-off expense that permanently frees bandwidth, so it finishes
+// epochs quickly (Figure 11's near-ideal throughput); jobs already
+// fully served by fair share (e.g. BERT's tiny demand) are never taxed,
+// which keeps the makespan tail intact.
+func allocRemoteIOPriority(total unit.Bandwidth, running []core.JobView, a *core.Assignment,
+	less func(x, y core.JobView) bool) {
+	// Stage 1: plain max-min fair share over demands.
+	allocRemoteIOFair(total, running, a)
+	// Identify warming jobs that remain below their demand.
+	type topup struct {
+		view core.JobView
+		gap  float64
+	}
+	var warming []topup
+	var pot float64
+	taxed := make(map[string]float64)
+	for _, j := range running {
+		d := instantDemand(j, a)
+		g := float64(a.RemoteIO[j.ID])
+		gap := d - g
+		if gap <= 1e-9 {
+			continue // fully served: never taxed, never needs top-up
+		}
+		if a.CacheQuota[j.DatasetKey] > j.EffectiveCached {
+			warming = append(warming, topup{view: j, gap: gap})
+		} else {
+			// Unsatisfied steady-state job: contribute half its grant
+			// to the investment pot.
+			tax := g / 2
+			pot += tax
+			taxed[j.ID] = tax
+		}
+	}
+	if len(warming) == 0 || pot <= 0 {
+		return // nothing to invest in (or no one to fund it): keep fair share
+	}
+	sort.Slice(warming, func(i, j int) bool { return less(warming[i].view, warming[j].view) })
+	spent := 0.0
+	for i := range warming {
+		if pot <= 1e-9 {
+			break
+		}
+		give := math.Min(warming[i].gap, pot)
+		a.RemoteIO[warming[i].view.ID] += unit.Bandwidth(give)
+		pot -= give
+		spent += give
+	}
+	// Only the spent portion of the tax is actually withheld; the
+	// unspent pot stays with its contributors.
+	if pot > 1e-9 && spent > 0 {
+		totalTax := pot + spent
+		for id, tax := range taxed {
+			taxed[id] = tax * spent / totalTax
+		}
+	} else if spent <= 0 {
+		return
+	}
+	for id, tax := range taxed {
+		a.RemoteIO[id] -= unit.Bandwidth(tax)
+		if a.RemoteIO[id] < 0 {
+			a.RemoteIO[id] = 0
+		}
+	}
+}
+
+// instantDemand is a job's current remote IO demand given the assigned
+// quota and its effective cache.
+func instantDemand(j core.JobView, a *core.Assignment) float64 {
+	q := a.CacheQuota[j.DatasetKey]
+	if q > j.EffectiveCached {
+		q = j.EffectiveCached
+	}
+	if q > j.DatasetSize {
+		q = j.DatasetSize
+	}
+	miss := 1 - float64(q)/math.Max(float64(j.DatasetSize), 1)
+	return float64(j.Profile.IdealThroughput) * miss
+}
+
+// allocRemoteIOFair grants each running job a max-min fair share of the
+// remote IO against its instantaneous demand: the effective cache (not
+// the planned quota) determines the current miss ratio, because newly
+// granted cache only pays off next epoch (§6). The allocation is
+// revisited every scheduling round, so grants shrink as caches warm.
+func allocRemoteIOFair(total unit.Bandwidth, running []core.JobView, a *core.Assignment) {
+	type rec struct {
+		id     string
+		demand float64
+	}
+	recs := make([]rec, 0, len(running))
+	for _, j := range running {
+		q := a.CacheQuota[j.DatasetKey]
+		if q > j.EffectiveCached {
+			q = j.EffectiveCached
+		}
+		if q > j.DatasetSize {
+			q = j.DatasetSize
+		}
+		miss := 1 - float64(q)/math.Max(float64(j.DatasetSize), 1)
+		recs = append(recs, rec{j.ID, float64(j.Profile.IdealThroughput) * miss})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].demand != recs[j].demand {
+			return recs[i].demand < recs[j].demand
+		}
+		return recs[i].id < recs[j].id
+	})
+	remaining := float64(total)
+	left := len(recs)
+	for _, r := range recs {
+		level := remaining / float64(left)
+		grant := math.Min(r.demand, level)
+		a.RemoteIO[r.id] = unit.Bandwidth(grant)
+		remaining -= grant
+		left--
+	}
+	// Any slack (all demands met) stays unallocated; the data plane
+	// never throttles below demand anyway.
+}
+
+// QuiverAllocator models Quiver [44]: cache is assigned to whole
+// datasets in descending benefit-to-cost order, where benefit is the
+// online-profiled throughput gain and cost the dataset size. Quiver
+// does not support partial caching ("jobs do not benefit from Quiver if
+// it cannot entirely fit into the cache", §7.1.1), so datasets that do
+// not fit are skipped. ProfileNoise (fractional sigma) models the
+// instability of online latency profiling the paper observed (§7.1.2);
+// zero disables it.
+type QuiverAllocator struct {
+	ProfileNoise float64
+	rng          *simrng.RNG
+}
+
+// NewQuiverAllocator returns a Quiver allocator with seeded profiling
+// noise.
+func NewQuiverAllocator(noise float64, seed int64) *QuiverAllocator {
+	return &QuiverAllocator{ProfileNoise: noise, rng: simrng.New(seed)}
+}
+
+// Name implements StorageAllocator.
+func (q *QuiverAllocator) Name() string { return "quiver" }
+
+// AllocateStorage implements StorageAllocator.
+func (q *QuiverAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
+	type dgroup struct {
+		key        string
+		size       unit.Bytes
+		benefit    float64
+		cachedFrac float64
+	}
+	groups := make(map[string]*dgroup)
+	var order []string
+	for _, j := range running {
+		g, ok := groups[j.DatasetKey]
+		if !ok {
+			g = &dgroup{key: j.DatasetKey, size: j.DatasetSize}
+			groups[j.DatasetKey] = g
+			order = append(order, j.DatasetKey)
+		}
+		g.benefit += float64(j.Profile.IdealThroughput)
+		if f := float64(j.CachedBytes) / math.Max(float64(j.DatasetSize), 1); f > g.cachedFrac {
+			g.cachedFrac = f
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		ratio := g.benefit / math.Max(float64(g.size), 1)
+		if q.ProfileNoise > 0 && q.rng != nil {
+			ratio *= math.Exp(q.rng.Normal(0, q.ProfileNoise))
+		}
+		// Hysteresis: an already-cached dataset keeps an edge, as
+		// re-profiling an in-cache dataset measures lower latency. The
+		// profiling noise still flips near-ties occasionally — the
+		// paper's "sometimes wrongly evicts effective data" (§7.1.2) —
+		// but a cached dataset is not re-placed every round.
+		ratio *= 1 + 0.5*g.cachedFrac
+		g.benefit = ratio
+	}
+	sort.Slice(order, func(x, y int) bool {
+		gx, gy := groups[order[x]], groups[order[y]]
+		if gx.benefit != gy.benefit {
+			return gx.benefit > gy.benefit
+		}
+		return gx.key < gy.key
+	})
+	remaining := c.Cache
+	for _, key := range order {
+		g := groups[key]
+		if g.size <= remaining {
+			a.CacheQuota[key] = g.size
+			remaining -= g.size
+		} else {
+			a.CacheQuota[key] = 0 // no partial caching
+		}
+	}
+}
+
+// CoorDLAllocator models CoorDL [50]: each job caches independently in
+// the local storage of its own VMs, uniformly (no eviction). The quota
+// is static — proportional to the job's share of the cluster's GPUs,
+// which is how per-VM local SSDs apportion in practice — and keyed by
+// job (the CacheKeyPerJob mode), since CoorDL caches are not shared
+// even between jobs training the same dataset.
+type CoorDLAllocator struct{}
+
+// Name implements StorageAllocator.
+func (CoorDLAllocator) Name() string { return "coordl" }
+
+// AllocateStorage implements StorageAllocator.
+func (CoorDLAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
+	if c.GPUs <= 0 {
+		return
+	}
+	perGPU := float64(c.Cache) / float64(c.GPUs)
+	for _, j := range running {
+		quota := unit.Bytes(perGPU * float64(j.NumGPUs))
+		if quota > j.DatasetSize {
+			quota = j.DatasetSize
+		}
+		// CoorDL caches are private: key by job, not dataset.
+		a.CacheQuota[coorDLKey(j.ID)] = quota
+	}
+}
+
+// coorDLKey is the cache accounting key of a CoorDL private cache.
+func coorDLKey(jobID string) string { return "job:" + jobID }
+
+// CoorDLKey exposes the private-cache key derivation for the simulator.
+func CoorDLKey(jobID string) string { return coorDLKey(jobID) }
+
+// AlluxioAllocator models Alluxio's default deployment: the cache runs
+// its own LRU replacement with no scheduler-driven quotas at all, so
+// AllocateStorage assigns nothing. The simulator pairs this allocator
+// with an LRU cache model.
+type AlluxioAllocator struct{}
+
+// Name implements StorageAllocator.
+func (AlluxioAllocator) Name() string { return "alluxio" }
+
+// AllocateStorage implements StorageAllocator.
+func (AlluxioAllocator) AllocateStorage(core.Cluster, []core.JobView, *core.Assignment) {}

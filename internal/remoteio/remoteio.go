@@ -1,0 +1,243 @@
+// Package remoteio manages the remote IO bandwidth between the GPU
+// cluster and cloud storage: an allocation ledger the scheduler writes
+// (Table 3: allocateRemoteIO), a demand-based max-min fair divider used
+// when remote IO is left uncontrolled (§7.2 ablation), and a
+// token-bucket throttle used by the real-time testbed to enforce
+// per-job rates.
+package remoteio
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/unit"
+)
+
+// Ledger tracks per-job remote IO allocations against the cluster's
+// egress capacity. Allocations are advisory targets the data plane
+// enforces; the ledger validates they never oversubscribe capacity.
+type Ledger struct {
+	capacity unit.Bandwidth
+	alloc    map[string]unit.Bandwidth
+}
+
+// NewLedger returns an empty ledger with the given egress capacity.
+func NewLedger(capacity unit.Bandwidth) *Ledger {
+	return &Ledger{capacity: capacity, alloc: make(map[string]unit.Bandwidth)}
+}
+
+// Capacity reports the total egress capacity.
+func (l *Ledger) Capacity() unit.Bandwidth { return l.capacity }
+
+// Set assigns bw to jobID. An over-subscribing assignment is rejected
+// so scheduler bugs surface immediately instead of as silent slowdowns.
+// A tiny tolerance absorbs floating-point round-off from solvers.
+func (l *Ledger) Set(jobID string, bw unit.Bandwidth) error {
+	if bw < 0 {
+		return fmt.Errorf("remoteio: negative allocation %v for %s", bw, jobID)
+	}
+	const tol = 1e-6
+	newTotal := l.Allocated() - l.alloc[jobID] + bw
+	if float64(newTotal) > float64(l.capacity)*(1+tol)+1 {
+		return fmt.Errorf("remoteio: allocating %v to %s oversubscribes capacity %v (already %v)",
+			bw, jobID, l.capacity, l.Allocated()-l.alloc[jobID])
+	}
+	l.alloc[jobID] = bw
+	return nil
+}
+
+// Get reports jobID's allocation (0 if none).
+func (l *Ledger) Get(jobID string) unit.Bandwidth { return l.alloc[jobID] }
+
+// Remove forgets jobID's allocation.
+func (l *Ledger) Remove(jobID string) { delete(l.alloc, jobID) }
+
+// Allocated reports the sum of all allocations.
+func (l *Ledger) Allocated() unit.Bandwidth {
+	var s unit.Bandwidth
+	for _, bw := range l.alloc {
+		s += bw
+	}
+	return s
+}
+
+// Free reports the unallocated capacity (never negative).
+func (l *Ledger) Free() unit.Bandwidth {
+	f := l.capacity - l.Allocated()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Jobs returns the jobs with allocations, sorted for determinism.
+func (l *Ledger) Jobs() []string {
+	out := make([]string, 0, len(l.alloc))
+	for id := range l.alloc {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Demand is one job's remote IO demand for fair division.
+type Demand struct {
+	JobID string
+	Want  unit.Bandwidth
+}
+
+// FairShare divides capacity across demands by progressive filling
+// (max-min fairness): every job receives min(want, fair level), and
+// capacity freed by small demands is redistributed. This models the
+// provider-controlled remote IO of the §7.2 ablation ("a simple fair
+// share algorithm for remote IO").
+func FairShare(capacity unit.Bandwidth, demands []Demand) map[string]unit.Bandwidth {
+	out := make(map[string]unit.Bandwidth, len(demands))
+	if capacity <= 0 || len(demands) == 0 {
+		for _, d := range demands {
+			out[d.JobID] = 0
+		}
+		return out
+	}
+	type rec struct {
+		id   string
+		want float64
+	}
+	recs := make([]rec, 0, len(demands))
+	for _, d := range demands {
+		w := float64(d.Want)
+		if w < 0 {
+			w = 0
+		}
+		recs = append(recs, rec{d.JobID, w})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].want != recs[j].want {
+			return recs[i].want < recs[j].want
+		}
+		return recs[i].id < recs[j].id
+	})
+	remaining := float64(capacity)
+	left := len(recs)
+	for _, r := range recs {
+		level := remaining / float64(left)
+		grant := r.want
+		if grant > level {
+			grant = level
+		}
+		out[r.id] = unit.Bandwidth(grant)
+		remaining -= grant
+		left--
+	}
+	return out
+}
+
+// EqualShare models the provider-side egress throttle that applies when
+// no scheduler controls remote IO (§2.1, §7.2): every running job gets
+// an equal static share of the egress capacity, capped at its demand.
+// Unlike FairShare there is no redistribution — a cached job's unused
+// share idles, which is exactly the inefficiency SiloD's remote IO
+// management removes.
+func EqualShare(capacity unit.Bandwidth, demands []Demand) map[string]unit.Bandwidth {
+	out := make(map[string]unit.Bandwidth, len(demands))
+	if len(demands) == 0 {
+		return out
+	}
+	share := float64(capacity) / float64(len(demands))
+	for _, d := range demands {
+		w := float64(d.Want)
+		if w < 0 {
+			w = 0
+		}
+		if w > share {
+			w = share
+		}
+		out[d.JobID] = unit.Bandwidth(w)
+	}
+	return out
+}
+
+// TokenBucket is a thread-safe rate limiter used by the testbed's FUSE
+// client stand-ins to throttle remote fetches to the scheduler-assigned
+// rate. It is driven by real wall-clock time scaled by the testbed.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket depth in bytes
+	tokens float64
+	last   time.Time
+	clock  func() time.Time
+}
+
+// NewTokenBucket returns a bucket refilling at rate bytes/sec with the
+// given burst. A nil clock uses time.Now.
+func NewTokenBucket(rate unit.Bandwidth, burst unit.Bytes, clock func() time.Time) *TokenBucket {
+	if clock == nil {
+		clock = time.Now
+	}
+	b := &TokenBucket{
+		rate:  float64(rate),
+		burst: float64(burst),
+		clock: clock,
+	}
+	b.tokens = b.burst
+	b.last = clock()
+	return b
+}
+
+// SetRate changes the refill rate, e.g. after a reallocation.
+func (b *TokenBucket) SetRate(rate unit.Bandwidth) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.rate = float64(rate)
+}
+
+// Rate reports the current refill rate.
+func (b *TokenBucket) Rate() unit.Bandwidth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return unit.Bandwidth(b.rate)
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.clock()
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Reserve consumes n bytes of budget and returns how long the caller
+// must wait before proceeding so the long-run rate holds. The bucket is
+// allowed to go negative (a reservation model), which keeps large
+// requests exact without chunking.
+func (b *TokenBucket) Reserve(n unit.Bytes) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens -= float64(n)
+	if b.tokens >= 0 {
+		return 0
+	}
+	if b.rate <= 0 {
+		// No refill: effectively blocked forever; return a large wait so
+		// callers can time out meaningfully.
+		return time.Hour * 24 * 365
+	}
+	deficit := -b.tokens
+	return time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// Wait reserves n bytes and sleeps out the required delay.
+func (b *TokenBucket) Wait(n unit.Bytes) {
+	if d := b.Reserve(n); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,586 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eventq"
+	"repro/internal/remoteio"
+	"repro/internal/simrng"
+	"repro/internal/stats"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// batchJob is the per-job state of the batch engine: a two-stage
+// pipeline (data loading, compute) at block granularity, matching the
+// paper's Figure 5 execution model. Cache hits cost no loader time (the
+// storage fabric sustains local-disk speed, Figure 3), so loader time
+// accrues only on remote fetches and the long-run loading rate is
+// b/(1-c/d) — the quantity Eq. 3 models.
+type batchJob struct {
+	rt     *jobRT
+	stream dataset.Stream
+	blocks dataset.Blocks
+
+	blocksTotal int64 // total blocks to train through
+	blocksDone  int64
+	// effBytes is the cache snapshot at the job's current epoch start:
+	// the effective cache (§6) used for demand sizing.
+	effBytes unit.Bytes
+
+	// Pipeline state.
+	prefetch     int // blocks loaded and awaiting compute
+	fetchEvent   *eventq.Event
+	fetchLeft    unit.Bytes // bytes left of the in-flight remote fetch
+	fetchRateAt  float64    // sim time the in-flight rate was set
+	rate         unit.Bandwidth
+	computeEvent *eventq.Event
+	computing    bool
+
+	issued int64 // blocks issued to the loader so far
+}
+
+// prefetchDepth is the loader's prefetch queue in blocks. DL data
+// loaders prefetch aggressively, which is what lets the closed-form
+// model treat loading and compute as a perfectly overlapped pipeline; a
+// shallow queue would stall compute during miss bursts and bias
+// measured throughput below b/(1-c/d).
+const prefetchDepth = 64
+
+// batchSim is the batch engine.
+type batchSim struct {
+	cfg   Config
+	q     *eventq.Queue
+	pool  cache.Pool
+	jobs  []*jobRT
+	byID  map[string]*jobRT
+	bjobs map[string]*batchJob
+	rng   *simrng.RNG
+
+	res        *Result
+	series     map[string]*stats.Series
+	finished   int
+	lastFinish unit.Time
+
+	// Windowed throughput accounting.
+	lastSampleT     float64
+	bytesSinceSamp  float64
+	remoteSinceSamp float64
+}
+
+// runBatch executes the batch engine.
+func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
+	s := &batchSim{
+		cfg:   cfg,
+		q:     eventq.New(),
+		byID:  make(map[string]*jobRT),
+		bjobs: make(map[string]*batchJob),
+		rng:   simrng.New(cfg.Seed),
+		series: map[string]*stats.Series{
+			"throughput":      {Name: "throughput"},
+			"ideal":           {Name: "ideal"},
+			"remoteio":        {Name: "remoteio"},
+			"fairness":        {Name: "fairness"},
+			"cache_alloc":     {Name: "cache_alloc"},
+			"cache_effective": {Name: "cache_effective"},
+		},
+	}
+	if cfg.System.UsesLRU() {
+		s.pool = cache.NewLRUPool(cfg.Cluster.Cache)
+	} else {
+		s.pool = cache.NewQuotaPool(cfg.Cluster.Cache, s.rng.Split("evict"))
+	}
+	ordered := append([]workload.JobSpec(nil), specs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Submit != ordered[j].Submit {
+			return ordered[i].Submit < ordered[j].Submit
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for _, spec := range ordered {
+		blocks, err := dataset.New(spec.Dataset.Name, spec.Dataset.Size, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		// Block-align the dataset size so a "cache the whole dataset"
+		// quota covers every block; otherwise the final partial block
+		// can never be admitted and trickles in remotely every epoch.
+		spec.Dataset.Size = unit.Bytes(blocks.Num) * cfg.BlockSize
+		rt := newJobRT(spec, cfg.System)
+		s.jobs = append(s.jobs, rt)
+		s.byID[spec.ID] = rt
+		if err := s.pool.Register(rt.dsKey, blocks.Num, cfg.BlockSize); err != nil {
+			return nil, err
+		}
+		var stream dataset.Stream
+		srng := s.rng.Split("stream-" + spec.ID)
+		if spec.Curriculum != nil {
+			cs, err := dataset.NewCurriculumStream(blocks, *spec.Curriculum, srng)
+			if err != nil {
+				return nil, err
+			}
+			stream = cs
+		} else {
+			stream = dataset.NewEpochStream(blocks, srng)
+		}
+		total := int64(math.Ceil(float64(spec.TotalBytes()) / float64(cfg.BlockSize)))
+		if total < 1 {
+			total = 1
+		}
+		s.bjobs[spec.ID] = &batchJob{rt: rt, stream: stream, blocks: blocks, blocksTotal: total}
+		// Arrival event triggers a scheduling round.
+		submit := float64(spec.Submit)
+		s.q.Schedule(submit, func() { s.reschedule() })
+	}
+	s.res = &Result{Timelines: s.series}
+	// Periodic rescheduling ticks are (re)armed by reschedule itself.
+	total := len(s.jobs)
+	maxEvents := 500_000_000
+	for s.finished < total {
+		if !s.q.Step() {
+			return nil, fmt.Errorf("sim(batch): event queue drained with %d/%d jobs finished", s.finished, total)
+		}
+		s.res.Events++
+		if s.res.Events > maxEvents {
+			return nil, fmt.Errorf("sim(batch): event guard tripped at %d events", s.res.Events)
+		}
+		if unit.Duration(s.q.Now()) > s.cfg.MaxSimTime {
+			return nil, fmt.Errorf("sim(batch): exceeded max simulated time with %d/%d jobs; stuck: %s",
+				s.finished, total, s.describeStuck())
+		}
+	}
+	s.sample(true)
+	s.res.Makespan = s.lastFinish.Sub(0)
+	sort.Slice(s.res.Jobs, func(i, j int) bool { return s.res.Jobs[i].ID < s.res.Jobs[j].ID })
+	return s.res, nil
+}
+
+// describeStuck reports the pipeline state of unfinished jobs, for the
+// runaway-simulation diagnostic.
+func (s *batchSim) describeStuck() string {
+	out := ""
+	for _, j := range s.jobs {
+		if j.done {
+			continue
+		}
+		bj := s.bjobs[j.spec.ID]
+		out += fmt.Sprintf("[%s running=%v gpus=%d done=%d/%d prefetch=%d computing=%v fetch=%v rate=%v left=%v] ",
+			j.spec.ID, j.running, j.gpus, bj.blocksDone, bj.blocksTotal, bj.prefetch,
+			bj.computing, bj.fetchEvent != nil, bj.rate, bj.fetchLeft)
+	}
+	return out
+}
+
+// active returns arrived, unfinished jobs.
+func (s *batchSim) active() []*jobRT {
+	now := unit.Time(s.q.Now())
+	var out []*jobRT
+	for _, j := range s.jobs {
+		if !j.done && j.spec.Submit <= now {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// runningJobs returns jobs holding GPUs.
+func (s *batchSim) runningJobs() []*jobRT {
+	var out []*jobRT
+	for _, j := range s.jobs {
+		if j.running && !j.done {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// reschedule runs the policy, applies quotas and rates, and re-arms the
+// periodic tick.
+func (s *batchSim) reschedule() {
+	now := unit.Time(s.q.Now())
+	act := s.active()
+	views := make([]core.JobView, len(act))
+	for i, j := range act {
+		views[i] = j.view()
+		// Effective cache is the per-job epoch-start snapshot (§6):
+		// blocks admitted mid-epoch are not re-read until the next
+		// pass, so demand sizing must ignore them. CachedBytes is the
+		// live pool content, used for placement hysteresis.
+		cached := s.pool.CachedBytes(j.dsKey)
+		if cached > j.spec.Dataset.Size {
+			cached = j.spec.Dataset.Size
+		}
+		eff := s.bjobs[j.spec.ID].effBytes
+		if eff > cached {
+			eff = cached
+		}
+		views[i].EffectiveCached = eff
+		views[i].CachedBytes = cached
+	}
+	a := s.cfg.Policy.Assign(s.cfg.Cluster, now, views)
+	if err := a.Validate(s.cfg.Cluster, views); err != nil {
+		panic(fmt.Sprintf("sim(batch): invalid assignment at t=%v from %s: %v", now, s.cfg.Policy.Name(), err))
+	}
+	// Apply cache quotas and IO allocations BEFORE (re)starting any
+	// pipeline: a newly kicked job issues its first block access
+	// immediately, and with quotas still unset that block would be
+	// rejected from the cache and paid for again next epoch.
+	if qp, ok := s.pool.(*cache.QuotaPool); ok {
+		mentioned := make(map[string]bool, len(a.CacheQuota))
+		for key, q := range a.CacheQuota {
+			mentioned[key] = true
+			if err := qp.SetQuota(key, q); err != nil {
+				panic(fmt.Sprintf("sim(batch): %v", err))
+			}
+		}
+		for _, key := range qp.Keys() {
+			if !mentioned[key] {
+				if err := qp.SetQuota(key, 0); err != nil {
+					panic(fmt.Sprintf("sim(batch): %v", err))
+				}
+			}
+		}
+	}
+	for _, j := range act {
+		j.remoteIO = a.RemoteIO[j.spec.ID]
+	}
+	for _, j := range act {
+		g := a.GPUs[j.spec.ID]
+		wasRunning := j.running
+		j.gpus = g
+		j.running = g > 0
+		if j.running && !j.started {
+			j.started = true
+			j.start = now
+		}
+		if j.running && !wasRunning {
+			s.kick(s.bjobs[j.spec.ID])
+		}
+		if !j.running && wasRunning {
+			s.pause(s.bjobs[j.spec.ID])
+		}
+	}
+	s.refreshRates()
+	s.sample(false)
+	// Re-arm the tick.
+	s.q.After(float64(s.cfg.ReschedInterval), func() { s.reschedule() })
+}
+
+// observedHit estimates a running job's hit ratio from its effective
+// cache — the epoch-start snapshot, since blocks admitted this epoch
+// serve no reads until the next pass (used for bandwidth division).
+func (s *batchSim) observedHit(j *jobRT) float64 {
+	d := float64(j.spec.Dataset.Size)
+	if d <= 0 {
+		return 0
+	}
+	eff := s.bjobs[j.spec.ID].effBytes
+	if c := s.pool.CachedBytes(j.dsKey); c < eff {
+		eff = c
+	}
+	return math.Min(float64(eff)/d, 1)
+}
+
+// refreshRates recomputes every running job's remote fetch rate and
+// adjusts in-flight fetches.
+func (s *batchSim) refreshRates() {
+	running := s.runningJobs()
+	hits := make([]float64, len(running))
+	for i, j := range running {
+		hits[i] = s.observedHit(j)
+	}
+	grants := s.grants(running, hits)
+	for i, j := range running {
+		bj := s.bjobs[j.spec.ID]
+		s.setFetchRate(bj, grants[i])
+	}
+}
+
+// grants mirrors the fluid engine's bandwidth division so the two
+// engines agree (a requirement for the Table 6 fidelity result).
+func (s *batchSim) grants(running []*jobRT, hits []float64) []unit.Bandwidth {
+	out := make([]unit.Bandwidth, len(running))
+	demands := make([]float64, len(running))
+	var allocated float64
+	anyAlloc := false
+	for i, j := range running {
+		demands[i] = float64(j.profile.IdealThroughput) * (1 - hits[i])
+		// An in-flight transfer is instantaneous demand regardless of
+		// the analytic miss ratio (the pool already counts the block as
+		// admitted): give it enough bandwidth to land within a round,
+		// or a fully-warmed job's final straggler block never arrives.
+		if bj := s.bjobs[j.spec.ID]; bj.fetchLeft > 0 {
+			if floor := float64(bj.fetchLeft) / float64(s.cfg.ReschedInterval); floor > demands[i] {
+				demands[i] = floor
+			}
+		}
+		if !s.cfg.DisableIOControl && j.remoteIO > 0 {
+			out[i] = j.remoteIO
+			allocated += float64(j.remoteIO)
+			anyAlloc = true
+		}
+	}
+	if !anyAlloc || s.cfg.DisableIOControl {
+		// Provider-controlled static fair share (see the fluid engine):
+		// equal egress split capped at demand, unused remainder idles.
+		ds := make([]remoteio.Demand, len(running))
+		for i, j := range running {
+			ds[i] = remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(demands[i])}
+		}
+		share := remoteio.EqualShare(s.cfg.Cluster.RemoteIO, ds)
+		for i, j := range running {
+			out[i] = share[j.spec.ID]
+		}
+		return out
+	}
+	if s.cfg.DisableWorkConserving {
+		return out
+	}
+	leftover := float64(s.cfg.Cluster.RemoteIO) - allocated
+	if leftover <= 0 {
+		return out
+	}
+	var resid []remoteio.Demand
+	for i, j := range running {
+		extra := demands[i] - float64(out[i])
+		if extra > 1e-9 {
+			resid = append(resid, remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(extra)})
+		}
+	}
+	if len(resid) == 0 {
+		return out
+	}
+	share := remoteio.FairShare(unit.Bandwidth(leftover), resid)
+	for i, j := range running {
+		out[i] += share[j.spec.ID]
+	}
+	return out
+}
+
+// setFetchRate updates a job's remote rate, rescheduling any in-flight
+// fetch completion for the new rate.
+func (s *batchSim) setFetchRate(bj *batchJob, rate unit.Bandwidth) {
+	if bj.fetchEvent != nil && !bj.fetchEvent.Cancelled() {
+		// Account progress at the old rate, then re-time the remainder.
+		elapsed := s.q.Now() - bj.fetchRateAt
+		progressed := unit.Bytes(float64(bj.rate) * elapsed)
+		if progressed > bj.fetchLeft {
+			progressed = bj.fetchLeft
+		}
+		bj.fetchLeft -= progressed
+		s.remoteSinceSamp += float64(progressed)
+		s.q.Cancel(bj.fetchEvent)
+		bj.fetchEvent = nil
+		bj.rate = rate
+		bj.fetchRateAt = s.q.Now()
+		s.scheduleFetchCompletion(bj)
+		return
+	}
+	bj.rate = rate
+}
+
+// scheduleFetchCompletion arms the completion event for the in-flight
+// fetch at the current rate.
+func (s *batchSim) scheduleFetchCompletion(bj *batchJob) {
+	var dur float64
+	if bj.fetchLeft <= 0 {
+		// The transfer finished during a rate change's progress
+		// accounting; deliver it now.
+		bj.fetchEvent = s.q.After(0, func() { s.fetchDone(bj) })
+		return
+	}
+	if bj.rate <= 0 {
+		// Stalled: re-check at the next rescheduling round; arm a long
+		// placeholder the next rate change cancels.
+		dur = float64(s.cfg.ReschedInterval)
+		bj.fetchEvent = s.q.After(dur, func() {
+			bj.fetchEvent = nil
+			if bj.rt.running {
+				s.scheduleFetchCompletion(bj)
+			}
+		})
+		return
+	}
+	dur = float64(unit.DivBandwidth(bj.fetchLeft, bj.rate))
+	bj.fetchRateAt = s.q.Now()
+	bj.fetchEvent = s.q.After(dur, func() { s.fetchDone(bj) })
+}
+
+// kick (re)starts a paused or newly admitted job's pipeline.
+func (s *batchSim) kick(bj *batchJob) {
+	s.fillLoader(bj)
+	s.maybeCompute(bj)
+}
+
+// pause stops a preempted job's pipeline. The in-flight fetch is
+// abandoned (its partial progress is lost, as in a real preemption).
+func (s *batchSim) pause(bj *batchJob) {
+	if bj.fetchEvent != nil {
+		s.q.Cancel(bj.fetchEvent)
+		bj.fetchEvent = nil
+		bj.fetchLeft = 0
+		bj.issued-- // the block will be re-issued on resume
+	}
+	if bj.computeEvent != nil {
+		s.q.Cancel(bj.computeEvent)
+		bj.computeEvent = nil
+		bj.computing = false
+		bj.prefetch++ // the block returns to the prefetch queue
+	}
+}
+
+// fillLoader issues block reads until the prefetch queue is full or a
+// remote fetch is in flight. Cache hits complete immediately (local
+// fabric speed is not the bottleneck, Figure 3), so only misses consume
+// loader time.
+func (s *batchSim) fillLoader(bj *batchJob) {
+	if !bj.rt.running || bj.rt.done {
+		return
+	}
+	for bj.fetchEvent == nil && bj.prefetch < prefetchDepth && bj.issued < bj.blocksTotal {
+		blk, newEpoch := bj.stream.Next()
+		if newEpoch {
+			bj.effBytes = s.pool.CachedBytes(bj.rt.dsKey)
+		}
+		bj.issued++
+		out, err := s.pool.Access(bj.rt.dsKey, cache.BlockID(blk))
+		if err != nil {
+			panic(fmt.Sprintf("sim(batch): %v", err))
+		}
+		if out.Hit {
+			bj.prefetch++
+			continue
+		}
+		// Remote fetch.
+		bj.fetchLeft = s.cfg.BlockSize
+		s.scheduleFetchCompletion(bj)
+	}
+	s.maybeCompute(bj)
+}
+
+// fetchDone completes an in-flight remote fetch.
+func (s *batchSim) fetchDone(bj *batchJob) {
+	s.remoteSinceSamp += float64(bj.fetchLeft)
+	bj.fetchLeft = 0
+	bj.fetchEvent = nil
+	bj.prefetch++
+	s.fillLoader(bj)
+}
+
+// maybeCompute starts computing the next block if the GPU is idle.
+func (s *batchSim) maybeCompute(bj *batchJob) {
+	if bj.computing || bj.prefetch == 0 || !bj.rt.running || bj.rt.done {
+		return
+	}
+	bj.prefetch--
+	bj.computing = true
+	dur := float64(unit.DivBandwidth(s.cfg.BlockSize, bj.rt.profile.IdealThroughput))
+	bj.computeEvent = s.q.After(dur, func() { s.computeDone(bj) })
+}
+
+// computeDone completes a block of training.
+func (s *batchSim) computeDone(bj *batchJob) {
+	bj.computing = false
+	bj.computeEvent = nil
+	bj.blocksDone++
+	adv := s.cfg.BlockSize
+	if adv > bj.rt.remaining {
+		adv = bj.rt.remaining
+	}
+	bj.rt.remaining -= adv
+	bj.rt.attained += adv
+	s.bytesSinceSamp += float64(adv)
+	if bj.blocksDone >= bj.blocksTotal {
+		now := unit.Time(s.q.Now())
+		bj.rt.done = true
+		bj.rt.running = false
+		bj.rt.remaining = 0
+		bj.rt.finish = now
+		s.finished++
+		if now > s.lastFinish {
+			s.lastFinish = now
+		}
+		s.res.Jobs = append(s.res.Jobs, JobStat{
+			ID: bj.rt.spec.ID, Submit: bj.rt.spec.Submit, Start: bj.rt.start, Finish: now,
+		})
+		if bj.fetchEvent != nil {
+			s.q.Cancel(bj.fetchEvent)
+			bj.fetchEvent = nil
+		}
+		s.maybeDropDataset(bj.rt)
+		s.reschedule()
+		return
+	}
+	s.fillLoader(bj)
+	s.maybeCompute(bj)
+}
+
+// maybeDropDataset frees the cache key when no unfinished job uses it.
+func (s *batchSim) maybeDropDataset(done *jobRT) {
+	for _, j := range s.jobs {
+		if !j.done && j.dsKey == done.dsKey {
+			return
+		}
+	}
+	switch p := s.pool.(type) {
+	case *cache.QuotaPool:
+		p.DropKey(done.dsKey)
+	case *cache.LRUPool:
+		p.DropKey(done.dsKey)
+	}
+}
+
+// sample records timeline metrics using windowed byte counters.
+func (s *batchSim) sample(force bool) {
+	now := s.q.Now()
+	dt := now - s.lastSampleT
+	if !force && dt < float64(s.cfg.MetricsInterval) {
+		return
+	}
+	if dt <= 0 {
+		dt = 1
+	}
+	t := unit.Time(now).Minutes()
+	tput := s.bytesSinceSamp / dt / float64(unit.MB)
+	rio := s.remoteSinceSamp / dt / float64(unit.MB)
+	s.bytesSinceSamp, s.remoteSinceSamp = 0, 0
+	s.lastSampleT = now
+
+	running := s.runningJobs()
+	var ideal float64
+	for _, j := range running {
+		ideal += j.profile.IdealThroughput.MBpsValue()
+	}
+	s.series["throughput"].Append(t, tput)
+	s.series["ideal"].Append(t, ideal)
+	s.series["remoteio"].Append(t, rio)
+	s.series["fairness"].Append(t, fairnessRatio(s.cfg.Cluster, running, func(j *jobRT) unit.Bandwidth {
+		// Instantaneous estimate from pool state and current rate.
+		h := s.observedHit(j)
+		miss := 1 - h
+		if miss <= 1e-12 {
+			return j.profile.IdealThroughput
+		}
+		bj := s.bjobs[j.spec.ID]
+		f := unit.Bandwidth(float64(bj.rate) / miss)
+		if f > j.profile.IdealThroughput {
+			f = j.profile.IdealThroughput
+		}
+		return f
+	}))
+	var alloc float64
+	if qp, ok := s.pool.(*cache.QuotaPool); ok {
+		for _, key := range qp.Keys() {
+			alloc += float64(qp.Quota(key))
+		}
+	} else {
+		alloc = float64(s.pool.TotalCachedBytes())
+	}
+	s.series["cache_alloc"].Append(t, alloc/float64(unit.GB))
+	s.series["cache_effective"].Append(t, float64(s.pool.TotalCachedBytes())/float64(unit.GB))
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// benchTrace is a mid-size cluster workload for engine benchmarks.
+func benchTrace(b *testing.B) ([]workload.JobSpec, core.Cluster) {
+	b.Helper()
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(11, 60, 4*unit.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs, core.Cluster{GPUs: 32, Cache: unit.TiB(8), RemoteIO: unit.MBpsOf(400)}
+}
+
+func BenchmarkFluidEngine(b *testing.B) {
+	jobs, cl := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(Config{Cluster: cl, Policy: pol, System: policy.SiloD, Engine: Fluid, Seed: 11}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchEngine(b *testing.B) {
+	jobs, cl := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(Config{Cluster: cl, Policy: pol, System: policy.SiloD, Engine: Batch, Seed: 11}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidEngineAlluxio(b *testing.B) {
+	jobs, cl := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := policy.Build(policy.FIFOKind, policy.Alluxio, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(Config{Cluster: cl, Policy: pol, System: policy.Alluxio, Engine: Fluid, Seed: 11}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/remoteio"
+	"repro/internal/stats"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// dsRT is the fluid engine's per-cache-key state.
+type dsRT struct {
+	key    string
+	size   unit.Bytes
+	quota  unit.Bytes
+	cached unit.Bytes
+}
+
+// fluidSim is the fluid engine state.
+type fluidSim struct {
+	cfg      Config
+	jobs     []*jobRT
+	byID     map[string]*jobRT
+	datasets map[string]*dsRT
+	epochIdx map[string]int // job -> completed-epoch count
+
+	now        unit.Time
+	nextArrive int
+	res        *Result
+	lastSample unit.Time
+
+	series map[string]*stats.Series
+	events int
+
+	// placement tracks gangs on physical servers when configured.
+	placement *cluster.Cluster
+}
+
+// runFluid executes the fluid engine.
+func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
+	for _, spec := range specs {
+		if spec.Curriculum != nil {
+			// The fluid engine's closed forms assume the regular
+			// exactly-once-per-epoch pattern (§2.2); curriculum jobs
+			// resample and must run on the block-level engine.
+			return nil, fmt.Errorf("sim: job %s uses curriculum learning; use Engine: Batch", spec.ID)
+		}
+	}
+	ordered := append([]workload.JobSpec(nil), specs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Submit != ordered[j].Submit {
+			return ordered[i].Submit < ordered[j].Submit
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	s := &fluidSim{
+		cfg:      cfg,
+		byID:     make(map[string]*jobRT),
+		datasets: make(map[string]*dsRT),
+		epochIdx: make(map[string]int),
+		series: map[string]*stats.Series{
+			"throughput":      {Name: "throughput"},
+			"ideal":           {Name: "ideal"},
+			"remoteio":        {Name: "remoteio"},
+			"fairness":        {Name: "fairness"},
+			"cache_alloc":     {Name: "cache_alloc"},
+			"cache_effective": {Name: "cache_effective"},
+		},
+	}
+	for _, spec := range ordered {
+		j := newJobRT(spec, cfg.System)
+		s.jobs = append(s.jobs, j)
+		s.byID[spec.ID] = j
+	}
+	s.res = &Result{Timelines: s.series}
+	if cfg.Servers > 0 {
+		pl, err := cluster.New(cfg.Servers, cfg.GPUsPerServer, unit.Bytes(float64(cfg.Cluster.Cache)/float64(cfg.Servers)))
+		if err != nil {
+			return nil, err
+		}
+		s.placement = pl
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	s.res.Events = s.events
+	return s.res, nil
+}
+
+// ds returns (creating on demand) the cache-key state for a job.
+func (s *fluidSim) ds(j *jobRT) *dsRT {
+	d, ok := s.datasets[j.dsKey]
+	if !ok {
+		d = &dsRT{key: j.dsKey, size: j.spec.Dataset.Size}
+		s.datasets[j.dsKey] = d
+	}
+	return d
+}
+
+// active returns the jobs that have arrived and are not finished.
+func (s *fluidSim) active() []*jobRT {
+	var out []*jobRT
+	for _, j := range s.jobs {
+		if !j.done && j.spec.Submit <= s.now {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// runningJobs returns the jobs currently holding GPUs.
+func (s *fluidSim) runningJobs() []*jobRT {
+	var out []*jobRT
+	for _, j := range s.jobs {
+		if j.running && !j.done {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// reschedule runs the policy over active jobs and applies the
+// assignment to the fluid state.
+func (s *fluidSim) reschedule() error {
+	act := s.active()
+	views := make([]core.JobView, len(act))
+	for i, j := range act {
+		views[i] = j.view()
+		views[i].CachedBytes = minBytes(s.ds(j).cached, j.spec.Dataset.Size)
+	}
+	a := s.cfg.Policy.Assign(s.cfg.Cluster, s.now, views)
+	if err := a.Validate(s.cfg.Cluster, views); err != nil {
+		return fmt.Errorf("sim: at t=%v policy %s produced invalid assignment: %w",
+			s.now, s.cfg.Policy.Name(), err)
+	}
+	// GPUs: grant/revoke.
+	for _, j := range act {
+		g := a.GPUs[j.spec.ID]
+		wasRunning := j.running
+		j.gpus = g
+		j.running = g > 0
+		if j.running && !j.started {
+			j.started = true
+			j.start = s.now
+		}
+		if j.running && !wasRunning {
+			// (Re)admission: the effective cache for the rest of this
+			// epoch is whatever was cached before now.
+			j.effCached = minBytes(s.ds(j).cached, j.spec.Dataset.Size)
+			if s.placement != nil {
+				p, err := s.placement.Place(j.spec.ID, j.spec.NumGPUs, cluster.Pack)
+				if err != nil {
+					return fmt.Errorf("sim: placement: %w", err)
+				}
+				s.res.PlacedGangs++
+				if len(p) > 1 {
+					s.res.SpannedGangs++
+				}
+			}
+		}
+		if !j.running && wasRunning && s.placement != nil {
+			s.placement.Release(j.spec.ID)
+		}
+	}
+	// Cache quotas (quota-based systems only; LRU manages itself).
+	if !s.cfg.System.UsesLRU() {
+		mentioned := make(map[string]bool, len(a.CacheQuota))
+		for key, q := range a.CacheQuota {
+			mentioned[key] = true
+			s.applyQuota(key, q)
+		}
+		// Keys not mentioned lose their allocation: the data manager
+		// evicts datasets the scheduler no longer funds.
+		for key := range s.datasets {
+			if !mentioned[key] {
+				s.applyQuota(key, 0)
+			}
+		}
+	}
+	// Remote IO allocations.
+	for _, j := range act {
+		j.remoteIO = a.RemoteIO[j.spec.ID]
+	}
+	return nil
+}
+
+// applyQuota sets a key's quota, evicting proportionally on shrink
+// (random eviction keeps the cached set uniform, so every job's
+// effective cache scales by the survival ratio).
+func (s *fluidSim) applyQuota(key string, q unit.Bytes) {
+	d, ok := s.datasets[key]
+	if !ok {
+		for _, j := range s.jobs {
+			if j.dsKey == key {
+				d = s.ds(j)
+				break
+			}
+		}
+		if d == nil {
+			return
+		}
+	}
+	d.quota = q
+	if d.cached > q {
+		ratio := 0.0
+		if d.cached > 0 {
+			ratio = float64(q) / float64(d.cached)
+		}
+		d.cached = q
+		for _, j := range s.jobs {
+			if j.dsKey == key && !j.done {
+				j.effCached = unit.Bytes(float64(j.effCached) * ratio)
+			}
+		}
+	}
+}
+
+// jobRates computes each running job's data-loading hit ratio and
+// end-to-end throughput under the current allocations.
+func (s *fluidSim) jobRates(running []*jobRT) (hits []float64, rates, grants []unit.Bandwidth) {
+	hits = make([]float64, len(running))
+	rates = make([]unit.Bandwidth, len(running))
+	if len(running) == 0 {
+		return hits, rates, nil
+	}
+	if s.cfg.System.UsesLRU() {
+		s.lruHits(running, hits)
+	} else {
+		for i, j := range running {
+			d := float64(j.spec.Dataset.Size)
+			if d > 0 {
+				hits[i] = math.Min(float64(j.effCached)/d, 1)
+			}
+		}
+	}
+	grants = s.bandwidthGrants(running, hits)
+	for i, j := range running {
+		miss := 1 - hits[i]
+		fstar := j.profile.IdealThroughput
+		if miss <= 1e-12 {
+			rates[i] = fstar
+			continue
+		}
+		f := unit.Bandwidth(float64(grants[i]) / miss)
+		if f > fstar {
+			f = fstar
+		}
+		rates[i] = f
+	}
+	return hits, rates, grants
+}
+
+// lruHits runs the Che fixed point: hit ratios depend on loading rates,
+// which depend on bandwidth shares, which depend on hit ratios.
+// First-epoch jobs on datasets nobody else shares cannot hit (each item
+// is read at most once before the first epoch completes).
+func (s *fluidSim) lruHits(running []*jobRT, hits []float64) {
+	users := make(map[string]int)
+	for _, j := range running {
+		users[j.dsKey]++
+	}
+	rates := make([]float64, len(running))
+	for i, j := range running {
+		rates[i] = float64(j.profile.IdealThroughput)
+	}
+	for iter := 0; iter < 6; iter++ {
+		// Aggregate per-dataset streams.
+		agg := make(map[string]*cache.FluidStream)
+		var keys []string
+		for i, j := range running {
+			st, ok := agg[j.dsKey]
+			if !ok {
+				st = &cache.FluidStream{Size: j.spec.Dataset.Size}
+				agg[j.dsKey] = st
+				keys = append(keys, j.dsKey)
+			}
+			st.Rate += unit.Bandwidth(rates[i])
+		}
+		sort.Strings(keys)
+		streams := make([]cache.FluidStream, len(keys))
+		for i, k := range keys {
+			streams[i] = *agg[k]
+		}
+		hitByKey := cache.CheLRU(s.cfg.Cluster.Cache, streams)
+		for i, j := range running {
+			idx := sort.SearchStrings(keys, j.dsKey)
+			h := hitByKey[idx]
+			if s.epochIdx[j.spec.ID] == 0 && users[j.dsKey] == 1 {
+				h = 0
+			}
+			hits[i] = h
+		}
+		grants := s.bandwidthGrants(running, hits)
+		for i, j := range running {
+			miss := 1 - hits[i]
+			f := float64(j.profile.IdealThroughput)
+			if miss > 1e-12 {
+				f = math.Min(f, float64(grants[i])/miss)
+			}
+			rates[i] = f
+		}
+	}
+}
+
+// bandwidthGrants divides the remote IO capacity. Scheduler allocations
+// are honored when present and IO control is enabled; the remainder (or
+// everything, for uncontrolled systems) is divided max-min fairly over
+// residual demands.
+func (s *fluidSim) bandwidthGrants(running []*jobRT, hits []float64) []unit.Bandwidth {
+	grants := make([]unit.Bandwidth, len(running))
+	demands := make([]float64, len(running))
+	var allocated float64
+	anyAlloc := false
+	for i, j := range running {
+		demands[i] = float64(j.profile.IdealThroughput) * (1 - hits[i])
+		if !s.cfg.DisableIOControl && j.remoteIO > 0 {
+			grants[i] = j.remoteIO
+			allocated += float64(j.remoteIO)
+			anyAlloc = true
+		}
+	}
+	capTotal := float64(s.cfg.Cluster.RemoteIO)
+	if !anyAlloc || s.cfg.DisableIOControl {
+		// Provider-controlled static fair share: equal egress split per
+		// running job, capped at demand, with no redistribution of the
+		// unused remainder — the throttle a cloud storage frontend
+		// applies when nothing smarter manages remote IO (§2.1, §7.2).
+		ds := make([]remoteio.Demand, len(running))
+		for i, j := range running {
+			ds[i] = remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(demands[i])}
+		}
+		share := remoteio.EqualShare(s.cfg.Cluster.RemoteIO, ds)
+		for i, j := range running {
+			grants[i] = share[j.spec.ID]
+		}
+		return grants
+	}
+	if s.cfg.DisableWorkConserving {
+		return grants
+	}
+	// Work-conserving: unallocated (or unused) bandwidth is fair-shared
+	// over jobs whose demand exceeds their grant.
+	leftover := capTotal - allocated
+	if leftover <= 0 {
+		return grants
+	}
+	var resid []remoteio.Demand
+	for i, j := range running {
+		extra := demands[i] - float64(grants[i])
+		if extra > 1e-9 {
+			resid = append(resid, remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(extra)})
+		}
+	}
+	if len(resid) == 0 {
+		return grants
+	}
+	share := remoteio.FairShare(unit.Bandwidth(leftover), resid)
+	for i, j := range running {
+		grants[i] += share[j.spec.ID]
+	}
+	return grants
+}
+
+// sample records the timeline metrics at the current time.
+func (s *fluidSim) sample(running []*jobRT, hits []float64, rates, grants []unit.Bandwidth, force bool) {
+	if !force && s.now.Sub(s.lastSample) < s.cfg.MetricsInterval {
+		return
+	}
+	s.lastSample = s.now
+	t := s.now.Minutes()
+	var tput, ideal, rio float64
+	for i, j := range running {
+		tput += rates[i].MBpsValue()
+		ideal += j.profile.IdealThroughput.MBpsValue()
+		rio += rates[i].MBpsValue() * (1 - hits[i])
+	}
+	s.series["throughput"].Append(t, tput)
+	s.series["ideal"].Append(t, ideal)
+	s.series["remoteio"].Append(t, rio)
+	// The fairness objective (Eq. 8) is evaluated on realized
+	// throughput: the performance jobs actually experience under the
+	// current allocation, warm-up effects included — plans that flatter
+	// cold caches earn no credit.
+	_ = grants
+	realized := make(map[string]unit.Bandwidth, len(running))
+	for i, j := range running {
+		realized[j.spec.ID] = rates[i]
+	}
+	s.series["fairness"].Append(t, fairnessRatio(s.cfg.Cluster, running, func(j *jobRT) unit.Bandwidth {
+		return realized[j.spec.ID]
+	}))
+	var alloc, eff float64
+	if !s.cfg.System.UsesLRU() {
+		// Effective bytes per dataset: mean of its active jobs'
+		// effective snapshots (cached but not-yet-effective blocks are
+		// the gap, §6 / Figure 8).
+		effSum := make(map[string]float64)
+		effCnt := make(map[string]int)
+		for _, j := range running {
+			effSum[j.dsKey] += float64(j.effCached)
+			effCnt[j.dsKey]++
+		}
+		for key, d := range s.datasets {
+			alloc += float64(d.quota)
+			if n := effCnt[key]; n > 0 {
+				eff += effSum[key] / float64(n)
+			} else {
+				eff += float64(d.cached)
+			}
+		}
+	}
+	s.series["cache_alloc"].Append(t, alloc/float64(unit.GB))
+	s.series["cache_effective"].Append(t, eff/float64(unit.GB))
+}
+
+// loop is the main fluid integration loop.
+func (s *fluidSim) loop() error {
+	nextTick := s.now
+	lastFinish := unit.Time(0)
+	totalJobs := len(s.jobs)
+	finished := 0
+	for finished < totalJobs {
+		if unit.Duration(s.now) > s.cfg.MaxSimTime {
+			return fmt.Errorf("sim: exceeded max simulated time %v with %d/%d jobs finished",
+				s.cfg.MaxSimTime, finished, totalJobs)
+		}
+		// Decision point: (re)schedule.
+		if err := s.reschedule(); err != nil {
+			return err
+		}
+		s.events++
+		// Determine the next decision point.
+		nextTick = s.now.Add(s.cfg.ReschedInterval)
+		horizon := nextTick
+		if s.nextArrive < totalJobs {
+			at := s.jobs[s.nextArrive].spec.Submit
+			// Advance nextArrive past already-arrived jobs.
+			for s.nextArrive < totalJobs && s.jobs[s.nextArrive].spec.Submit <= s.now {
+				s.nextArrive++
+			}
+			if s.nextArrive < totalJobs {
+				at = s.jobs[s.nextArrive].spec.Submit
+				if at < horizon {
+					horizon = at
+				}
+			}
+		}
+		// Integrate until the horizon, handling completions and epoch
+		// boundaries as they occur.
+		for s.now < horizon {
+			running := s.runningJobs()
+			hits, rates, grants := s.jobRates(running)
+			s.sample(running, hits, rates, grants, false)
+			if len(running) == 0 {
+				s.now = horizon
+				break
+			}
+			// Earliest internal event under constant rates.
+			dt := float64(horizon.Sub(s.now))
+			for i, j := range running {
+				r := float64(rates[i])
+				if r <= 0 {
+					continue
+				}
+				if d := float64(j.remaining) / r; d < dt {
+					dt = d
+				}
+				if !s.cfg.System.UsesLRU() {
+					if d := float64(j.epochLeft) / r; d < dt {
+						dt = d
+					}
+				} else if d := float64(j.epochLeft) / r; d < dt {
+					// Epoch boundaries still advance the per-job epoch
+					// counter used for LRU warm-up.
+					dt = d
+				}
+			}
+			if dt <= 0 {
+				dt = 1e-6
+			}
+			// Hoard-style prefetch: idle egress fills funded datasets
+			// with no running reader (their future jobs start warm).
+			var prefetch []*dsRT
+			var prefRate float64
+			if s.cfg.EnablePrefetch && !s.cfg.System.UsesLRU() {
+				var used float64
+				for i, j := range running {
+					used += float64(rates[i]) * (1 - hits[i])
+					_ = j
+				}
+				leftover := float64(s.cfg.Cluster.RemoteIO) - used
+				if leftover > 1e-6 {
+					hasRunner := make(map[string]bool, len(running))
+					for _, j := range running {
+						hasRunner[j.dsKey] = true
+					}
+					for _, d := range s.datasets {
+						limit := minBytes(d.quota, d.size)
+						if !hasRunner[d.key] && d.cached < limit {
+							prefetch = append(prefetch, d)
+						}
+					}
+					if len(prefetch) > 0 {
+						sort.Slice(prefetch, func(i, j int) bool { return prefetch[i].key < prefetch[j].key })
+						prefRate = leftover / float64(len(prefetch))
+					}
+				}
+			}
+			// Advance.
+			s.now = s.now.Add(unit.Duration(dt))
+			for _, d := range prefetch {
+				limit := minBytes(d.quota, d.size)
+				fill := unit.Bytes(prefRate * dt)
+				d.cached = minBytes(d.cached+fill, limit)
+			}
+			reschedNow := false
+			for i, j := range running {
+				adv := unit.Bytes(float64(rates[i]) * dt)
+				if adv > j.remaining {
+					adv = j.remaining
+				}
+				j.remaining -= adv
+				j.attained += adv
+				j.epochLeft -= adv
+				if !s.cfg.System.UsesLRU() {
+					// Misses admitted this step fill the cache toward
+					// the quota continuously (effectiveness still waits
+					// for the epoch boundary).
+					d := s.ds(j)
+					limit := minBytes(d.quota, j.spec.Dataset.Size)
+					if d.cached < limit {
+						fill := unit.Bytes(float64(adv) * (1 - hits[i]))
+						d.cached = minBytes(d.cached+fill, limit)
+					}
+				}
+				if j.remaining <= 0.5 { // sub-byte residue counts as done
+					j.remaining = 0
+					j.done = true
+					j.running = false
+					j.finish = s.now
+					finished++
+					if s.now > lastFinish {
+						lastFinish = s.now
+					}
+					s.res.Jobs = append(s.res.Jobs, JobStat{
+						ID: j.spec.ID, Submit: j.spec.Submit, Start: j.start, Finish: j.finish,
+					})
+					if s.placement != nil {
+						s.placement.Release(j.spec.ID)
+					}
+					s.maybeDropDataset(j)
+					reschedNow = true
+					continue
+				}
+				if j.epochLeft <= 0.5 {
+					// Epoch boundary: the pass filled the cache up to
+					// quota, and everything cached is now effective.
+					s.events++
+					s.epochIdx[j.spec.ID]++
+					if !s.cfg.System.UsesLRU() {
+						d := s.ds(j)
+						fill := minBytes(d.quota, j.spec.Dataset.Size)
+						if fill > d.cached {
+							d.cached = fill
+						}
+						j.effCached = minBytes(d.cached, j.spec.Dataset.Size)
+					}
+					j.epochLeft = minBytes(j.spec.Dataset.Size, j.remaining)
+				}
+			}
+			if reschedNow {
+				break // completions trigger an immediate scheduling round
+			}
+		}
+	}
+	// Final sample and makespan.
+	running := s.runningJobs()
+	hits, rates, grants := s.jobRates(running)
+	s.sample(running, hits, rates, grants, true)
+	s.res.Makespan = lastFinish.Sub(0)
+	sort.Slice(s.res.Jobs, func(i, j int) bool { return s.res.Jobs[i].ID < s.res.Jobs[j].ID })
+	return nil
+}
+
+// maybeDropDataset frees the cache key when no unfinished job uses it.
+func (s *fluidSim) maybeDropDataset(done *jobRT) {
+	for _, j := range s.jobs {
+		if !j.done && j.dsKey == done.dsKey {
+			return
+		}
+	}
+	delete(s.datasets, done.dsKey)
+}

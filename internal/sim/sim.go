@@ -1,0 +1,303 @@
+// Package sim is the event-driven cluster simulator the evaluation runs
+// on — the analogue of the paper's ~5,200-line Go simulator (§7.2). It
+// simulates job submission, scheduling rounds, data loading and GPU
+// compute, with two engines:
+//
+//   - The fluid engine advances running jobs analytically at their
+//     closed-form throughput between scheduling events and epoch
+//     boundaries. It captures uniform caching's delayed effectiveness
+//     exactly (hit ratios use the epoch-start cache snapshot) and
+//     models Alluxio's LRU with a Che-style approximation. It scales to
+//     400-GPU, multi-week traces.
+//
+//   - The batch engine simulates every block access through the real
+//     cache pools (QuotaPool / LRUPool) with a pipelined loader+compute
+//     model per job — the paper's "granularity of mini-batch". It is
+//     used for the micro-benchmarks, curriculum learning, and for
+//     validating the fluid engine's fidelity.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// Engine selects the simulation engine.
+type Engine int
+
+// The available engines.
+const (
+	Fluid Engine = iota
+	Batch
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == Batch {
+		return "batch"
+	}
+	return "fluid"
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Cluster core.Cluster
+	Policy  core.Policy
+	// System tells the simulator which cache mechanism backs the
+	// policy's quotas (LRU for Alluxio, private per-job quota caches
+	// for CoorDL, shared per-dataset quota caches otherwise).
+	System policy.CacheSystem
+	Engine Engine
+	// BlockSize is the cache block granularity (batch engine and quota
+	// accounting); zero means the 64 MB default.
+	BlockSize unit.Bytes
+	// ReschedInterval is how often the policy re-runs in addition to
+	// arrival/completion events; zero means 10 simulated minutes.
+	ReschedInterval unit.Duration
+	// MetricsInterval is the timeline sampling period; zero means the
+	// rescheduling interval.
+	MetricsInterval unit.Duration
+	// Seed drives all stochastic elements (eviction, shuffles).
+	Seed int64
+	// MaxSimTime aborts runaway simulations; zero means 10 simulated
+	// years.
+	MaxSimTime unit.Duration
+	// WorkConserving lets IO-bottlenecked jobs share any unallocated
+	// remote bandwidth (true matches real throttlers; the §7.2
+	// "disable IO control" ablation also uses it). Default true; set
+	// DisableWorkConserving to turn off.
+	DisableWorkConserving bool
+	// DisableIOControl ignores the policy's remote IO allocations and
+	// divides bandwidth by provider fair share (the §7.2 ablation).
+	DisableIOControl bool
+	// EnablePrefetch lets idle egress bandwidth fill datasets the
+	// policy has funded but whose jobs are not running — the
+	// Hoard-style extension (fluid engine only). Pair with a
+	// queue-aware allocator (policy.GreedyAllocator.PrefetchQueued) so
+	// queued jobs' datasets actually receive quotas.
+	EnablePrefetch bool
+	// Servers and GPUsPerServer, when both positive, enable server
+	// placement tracking in the fluid engine: gangs are placed with
+	// pack-first placement and the Result reports how many spanned
+	// multiple servers. Placement is observational — the storage fabric
+	// serves peer reads at local speed (Figure 3), so it does not
+	// change performance — but it validates that the flat-pool
+	// abstraction maps onto physical servers. Servers*GPUsPerServer
+	// must equal Cluster.GPUs.
+	Servers       int
+	GPUsPerServer int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BlockSize <= 0 {
+		out.BlockSize = 64 * unit.MB
+	}
+	if out.ReschedInterval <= 0 {
+		out.ReschedInterval = 10 * unit.Minute
+	}
+	if out.MetricsInterval <= 0 {
+		out.MetricsInterval = out.ReschedInterval
+	}
+	if out.MaxSimTime <= 0 {
+		out.MaxSimTime = 10 * 365 * unit.Day
+	}
+	return out
+}
+
+// JobStat is the per-job outcome.
+type JobStat struct {
+	ID     string
+	Submit unit.Time
+	Start  unit.Time
+	Finish unit.Time
+}
+
+// JCT is the job completion time (finish minus submit).
+func (s JobStat) JCT() unit.Duration { return s.Finish.Sub(s.Submit) }
+
+// QueueDelay is the time spent waiting before first execution.
+func (s JobStat) QueueDelay() unit.Duration { return s.Start.Sub(s.Submit) }
+
+// Result aggregates a run.
+type Result struct {
+	Jobs     []JobStat
+	Makespan unit.Duration
+	// Timelines, keyed by series name: "throughput" (total actual MB/s),
+	// "ideal" (total ideal MB/s of running jobs), "remoteio" (MB/s used),
+	// "fairness" (Eq. 8 objective over running jobs), "cache_alloc" and
+	// "cache_effective" (GB).
+	Timelines map[string]*stats.Series
+	// Events counts engine-internal events, for performance reporting.
+	Events int
+	// PlacedGangs and SpannedGangs report placement statistics when
+	// Config.Servers is set: how many gang placements occurred and how
+	// many had to span multiple servers.
+	PlacedGangs  int
+	SpannedGangs int
+}
+
+// AvgJCT is the mean job completion time.
+func (r *Result) AvgJCT() unit.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range r.Jobs {
+		s += float64(j.JCT())
+	}
+	return unit.Duration(s / float64(len(r.Jobs)))
+}
+
+// JCTs returns all job completion times in minutes, for CDFs.
+func (r *Result) JCTs() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = j.JCT().Minutes()
+	}
+	return out
+}
+
+// AvgFairness is the time-weighted mean of the fairness-ratio timeline.
+func (r *Result) AvgFairness() float64 {
+	s, ok := r.Timelines["fairness"]
+	if !ok {
+		return 0
+	}
+	return s.MeanValue()
+}
+
+// Run executes the simulation for the given trace.
+func Run(cfg Config, jobs []workload.JobSpec) (*Result, error) {
+	c := cfg.withDefaults()
+	if err := c.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if j.NumGPUs > c.Cluster.GPUs {
+			return nil, fmt.Errorf("sim: job %s needs %d GPUs, cluster has %d", j.ID, j.NumGPUs, c.Cluster.GPUs)
+		}
+	}
+	if c.Servers > 0 || c.GPUsPerServer > 0 {
+		if c.Servers*c.GPUsPerServer != c.Cluster.GPUs {
+			return nil, fmt.Errorf("sim: %d servers x %d GPUs != cluster's %d GPUs",
+				c.Servers, c.GPUsPerServer, c.Cluster.GPUs)
+		}
+	}
+	switch c.Engine {
+	case Batch:
+		return runBatch(c, jobs)
+	default:
+		return runFluid(c, jobs)
+	}
+}
+
+// jobRT is the engine-shared per-job runtime state.
+type jobRT struct {
+	spec    workload.JobSpec
+	profile estimator.JobProfile
+	dsKey   string // cache accounting key (dataset, or job for CoorDL)
+
+	remaining unit.Bytes // bytes of training work left
+	attained  unit.Bytes
+	running   bool
+	started   bool
+	start     unit.Time
+	finish    unit.Time
+	done      bool
+
+	gpus     int
+	remoteIO unit.Bandwidth // scheduler-allocated (0 when uncontrolled)
+
+	// Fluid-engine cache state: effective cached bytes for the current
+	// epoch (the epoch-start snapshot, §6 "delayed effectiveness") and
+	// bytes left to read in the current epoch.
+	effCached unit.Bytes
+	epochLeft unit.Bytes
+}
+
+// view builds the scheduler's JobView.
+func (j *jobRT) view() core.JobView {
+	return core.JobView{
+		ID:              j.spec.ID,
+		NumGPUs:         j.spec.NumGPUs,
+		Profile:         j.profile,
+		DatasetKey:      j.dsKey,
+		DatasetSize:     j.spec.Dataset.Size,
+		RemainingBytes:  j.remaining,
+		AttainedBytes:   j.attained,
+		EffectiveCached: j.effCached,
+		Submit:          j.spec.Submit,
+		Running:         j.running,
+		Irregular:       j.spec.Curriculum != nil,
+	}
+}
+
+// newJobRT initializes runtime state for a spec.
+func newJobRT(spec workload.JobSpec, system policy.CacheSystem) *jobRT {
+	key := spec.Dataset.Name
+	if system.PrivateCaches() {
+		key = policy.CoorDLKey(spec.ID)
+	}
+	return &jobRT{
+		spec: spec,
+		profile: estimator.JobProfile{
+			IdealThroughput: spec.IdealThroughput(),
+			DatasetSize:     spec.Dataset.Size,
+		},
+		dsKey:     key,
+		remaining: spec.TotalBytes(),
+		epochLeft: minBytes(spec.Dataset.Size, spec.TotalBytes()),
+	}
+}
+
+func minBytes(a, b unit.Bytes) unit.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fairnessRatio computes the Eq. 8 objective over the running jobs:
+// min_j perf_j / perf_j(R_equal), where R_equal divides the cluster's
+// storage resources equally among the running jobs — the same
+// normalization the max-min storage program optimizes, so the series
+// directly tracks how well each system serves Gavel's objective.
+func fairnessRatio(cl core.Cluster, running []*jobRT, perfOf func(*jobRT) unit.Bandwidth) float64 {
+	if len(running) == 0 {
+		return 1
+	}
+	n := float64(len(running))
+	minRatio := math.Inf(1)
+	for _, j := range running {
+		equal := estimator.Resources{
+			Cache:    unit.Bytes(float64(cl.Cache) / n),
+			RemoteIO: unit.Bandwidth(float64(cl.RemoteIO) / n),
+		}
+		pe := float64(j.profile.Perf(equal))
+		if pe <= 0 {
+			continue
+		}
+		r := float64(perfOf(j)) / pe
+		if r < minRatio {
+			minRatio = r
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return 1
+	}
+	return minRatio
+}

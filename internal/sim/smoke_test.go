@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// microBenchJobs builds the §7.1.1 workload: two ResNet-50 and two
+// EfficientNetB1 single-GPU jobs on private 1.3 TB datasets, plus one
+// 4-GPU BERT job on the 20.9 TB web corpus.
+func microBenchJobs(t testing.TB) []workload.JobSpec {
+	t.Helper()
+	rn50, err := workload.ModelByName("ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := workload.ModelByName("EfficientNetB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bert, err := workload.ModelByName("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, m workload.Model, ds workload.Dataset, gpus int, epochs float64) workload.JobSpec {
+		spec := workload.JobSpec{ID: id, Model: m, Dataset: ds, NumGPUs: gpus}
+		perEpoch := float64(ds.Size)
+		spec.NumSteps = int64(epochs * perEpoch / float64(spec.StepBytesTotal()))
+		if spec.NumSteps < 1 {
+			spec.NumSteps = 1
+		}
+		return spec
+	}
+	syn := func(i int) workload.Dataset {
+		return workload.Dataset{Name: "synth-images-" + string(rune('a'+i)), Size: unit.TiB(1.3)}
+	}
+	return []workload.JobSpec{
+		mk("rn50-a", rn50, syn(0), 1, 13),
+		mk("rn50-b", rn50, syn(1), 1, 13),
+		mk("effb1-a", eff, syn(2), 1, 10),
+		mk("effb1-b", eff, syn(3), 1, 10),
+		mk("bert", bert, workload.Dataset{Name: "websearch", Size: unit.TiB(20.9)}, 4, 0.07),
+	}
+}
+
+func microCluster() core.Cluster {
+	return core.Cluster{GPUs: 8, Cache: unit.TiB(2), RemoteIO: unit.MBpsOf(200)}
+}
+
+func runMicro(t testing.TB, cs policy.CacheSystem, eng Engine) *Result {
+	t.Helper()
+	pol, err := policy.Build(policy.FIFOKind, cs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Cluster: microCluster(),
+		Policy:  pol,
+		System:  cs,
+		Engine:  eng,
+		Seed:    7,
+	}, microBenchJobs(t))
+	if err != nil {
+		t.Fatalf("%v on %v: %v", cs, eng, err)
+	}
+	return res
+}
+
+// TestMicroBenchmarkOrdering reproduces the §7.1.1 ranking: SiloD has
+// the best average JCT, CoorDL and Alluxio the worst, Quiver in
+// between, on both engines.
+func TestMicroBenchmarkOrdering(t *testing.T) {
+	for _, eng := range []Engine{Fluid, Batch} {
+		res := map[policy.CacheSystem]*Result{}
+		for _, cs := range policy.AllCacheSystems() {
+			res[cs] = runMicro(t, cs, eng)
+			if len(res[cs].Jobs) != 5 {
+				t.Fatalf("%v/%v finished %d jobs, want 5", cs, eng, len(res[cs].Jobs))
+			}
+			t.Logf("%v/%v: avgJCT=%.0fmin makespan=%.0fmin events=%d",
+				cs, eng, res[cs].AvgJCT().Minutes(), res[cs].Makespan.Minutes(), res[cs].Events)
+		}
+		silod := res[policy.SiloD].AvgJCT()
+		for _, cs := range []policy.CacheSystem{policy.Alluxio, policy.CoorDL, policy.Quiver} {
+			if res[cs].AvgJCT() < silod {
+				t.Errorf("engine %v: %v avg JCT %.0f beats SiloD %.0f", eng, cs,
+					res[cs].AvgJCT().Minutes(), silod.Minutes())
+			}
+		}
+	}
+}

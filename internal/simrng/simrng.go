@@ -1,0 +1,143 @@
+// Package simrng provides deterministic, seeded random utilities for
+// workload and trace generation. Every experiment in this repository is
+// reproducible from its seed; nothing here reads global entropy.
+package simrng
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RNG wraps math/rand with the distributions the trace generator needs.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child RNG; deterministic given the label.
+// Use it to give each subsystem its own stream so adding draws in one
+// place does not perturb another.
+func (g *RNG) Split(label string) *RNG {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return New(h ^ g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative 63-bit value.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean. It panics if mean <= 0.
+func (g *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("simrng: non-positive exponential mean %v", mean))
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normally distributed value where the underlying
+// normal has mean mu and standard deviation sigma.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Normal returns a normally distributed value.
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return g.r.NormFloat64()*sigma + mu
+}
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](g *RNG, xs []T) {
+	g.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if all weights are zero or any
+// weight is negative.
+func (g *RNG) WeightedChoice(weights []float64) int {
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("simrng: negative weight %v at %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("simrng: all weights zero")
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf draws values in [0, n) with Zipfian skew s (s > 1 means heavier
+// head). Used to model popularity of shared datasets.
+type Zipf struct {
+	cdf []float64
+	g   *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s >= 0.
+// s == 0 degenerates to uniform. It panics if n <= 0.
+func NewZipf(g *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("simrng: zipf over empty domain")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, g: g}
+}
+
+// Next draws the next Zipf-distributed index.
+func (z *Zipf) Next() int {
+	x := z.g.Float64()
+	return sort.SearchFloat64s(z.cdf, x)
+}
+
+// BoundedLogNormal draws log-normal values truncated (by resampling, with
+// a clamp fallback) into [lo, hi].
+func (g *RNG) BoundedLogNormal(mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := g.LogNormal(mu, sigma)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	v := g.LogNormal(mu, sigma)
+	return math.Min(math.Max(v, lo), hi)
+}

@@ -1,0 +1,440 @@
+// Package testbed is the concurrent cluster emulator used for fidelity
+// validation (the analogue of the paper's accelerated-K80 methodology,
+// §7.1): every training job runs as a real loader+compute goroutine
+// pipeline against the real data manager — cache pool, per-job token
+// buckets, allocation APIs — with GPU compute replaced by scaled
+// sleeps, exactly as the paper replaces forward/backward passes with
+// sleep() for the profiled duration.
+//
+// Simulated time runs TimeScale times faster than wall time: all sleeps
+// are divided by TimeScale and all token-bucket rates multiplied by it,
+// so a 3,500-simulated-minute micro-benchmark completes in seconds of
+// wall time while preserving every rate relationship.
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datamgr"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/policy"
+	"repro/internal/remoteio"
+	"repro/internal/simrng"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a testbed run.
+type Config struct {
+	Cluster core.Cluster
+	Policy  core.Policy
+	System  policy.CacheSystem
+	// TimeScale is simulated seconds per wall-clock second (e.g. 10000
+	// compresses a ~3-day run into ~25 s).
+	TimeScale float64
+	// BlockSize is the cache/IO granularity; testbed runs use coarser
+	// blocks than the simulator so per-block sleeps stay well above
+	// timer resolution.
+	BlockSize unit.Bytes
+	// ReschedInterval is the scheduling period in simulated time.
+	ReschedInterval unit.Duration
+	Seed            int64
+	// MaxWall bounds the wall-clock duration of the run.
+	MaxWall time.Duration
+}
+
+// JobResult is one job's outcome in simulated time.
+type JobResult struct {
+	ID     string
+	Start  unit.Time
+	Finish unit.Time
+}
+
+// Result aggregates a run.
+type Result struct {
+	Jobs     []JobResult
+	Makespan unit.Duration
+}
+
+// AvgJCT is the mean completion time (all testbed jobs submit at t=0).
+func (r *Result) AvgJCT() unit.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range r.Jobs {
+		s += float64(j.Finish)
+	}
+	return unit.Duration(s / float64(len(r.Jobs)))
+}
+
+// jobRun is the per-job concurrent state.
+type jobRun struct {
+	spec    workload.JobSpec
+	profile estimator.JobProfile
+	blocks  dataset.Blocks
+	stream  *dataset.EpochStream
+
+	mu        sync.Mutex
+	remaining int64 // blocks left
+	total     int64
+	running   bool
+	finished  bool
+	finishAt  time.Time
+	startAt   time.Time
+}
+
+// Run executes the trace on the testbed. All jobs must fit the cluster
+// simultaneously (the testbed emulates the §7.1.1 micro-benchmark
+// setting; queueing experiments belong to the simulator).
+func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
+	if cfg.TimeScale <= 0 {
+		return nil, fmt.Errorf("testbed: non-positive time scale %v", cfg.TimeScale)
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = unit.GiB(4)
+	}
+	if cfg.ReschedInterval <= 0 {
+		cfg.ReschedInterval = 10 * unit.Minute
+	}
+	if cfg.MaxWall <= 0 {
+		cfg.MaxWall = 2 * time.Minute
+	}
+	var gpus int
+	for _, s := range specs {
+		gpus += s.NumGPUs
+	}
+	if gpus > cfg.Cluster.GPUs {
+		return nil, fmt.Errorf("testbed: trace needs %d GPUs, cluster has %d", gpus, cfg.Cluster.GPUs)
+	}
+
+	mgr := datamgr.New(cfg.Cluster.Cache, unit.Bandwidth(float64(cfg.Cluster.RemoteIO)*cfg.TimeScale), cfg.Seed, nil)
+	rng := simrng.New(cfg.Seed)
+	jobs := make([]*jobRun, 0, len(specs))
+	for _, spec := range specs {
+		blocks, err := dataset.New(spec.Dataset.Name, spec.Dataset.Size, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		// Block-align the dataset so full-dataset quotas cover every
+		// block (same rationale as the batch simulator).
+		spec.Dataset.Size = unit.Bytes(blocks.Num) * cfg.BlockSize
+		key := spec.Dataset.Name
+		if cfg.System.PrivateCaches() {
+			key = policy.CoorDLKey(spec.ID)
+		}
+		if err := mgr.RegisterDataset(key, spec.Dataset.Size, cfg.BlockSize); err != nil {
+			return nil, err
+		}
+		if err := mgr.AttachJob(spec.ID, key); err != nil {
+			return nil, err
+		}
+		total := int64((float64(spec.TotalBytes()) + float64(cfg.BlockSize) - 1) / float64(cfg.BlockSize))
+		if total < 1 {
+			total = 1
+		}
+		jobs = append(jobs, &jobRun{
+			spec: spec,
+			profile: estimator.JobProfile{
+				IdealThroughput: spec.IdealThroughput(),
+				DatasetSize:     spec.Dataset.Size,
+			},
+			blocks:    blocks,
+			stream:    dataset.NewEpochStream(blocks, rng.Split("stream-"+spec.ID)),
+			remaining: total,
+			total:     total,
+		})
+	}
+
+	start := time.Now()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Scheduler goroutine: periodic allocation rounds.
+	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start}
+	tb.round() // initial allocation before jobs start
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		period := time.Duration(float64(cfg.ReschedInterval) / cfg.TimeScale * float64(time.Second))
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				tb.round()
+			}
+		}
+	}()
+
+	// Job pipelines.
+	done := make(chan *jobRun, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *jobRun) {
+			defer wg.Done()
+			tb.runJob(j, stop)
+			done <- j
+		}(j)
+	}
+
+	// Wait with a wall-clock bound.
+	deadline := time.After(cfg.MaxWall)
+	finished := 0
+	var timeout bool
+	for finished < len(jobs) && !timeout {
+		select {
+		case <-done:
+			finished++
+		case <-deadline:
+			timeout = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if timeout {
+		return nil, fmt.Errorf("testbed: wall-clock bound %v exceeded with %d/%d jobs finished",
+			cfg.MaxWall, finished, len(jobs))
+	}
+
+	res := &Result{}
+	var makespan unit.Duration
+	for _, j := range jobs {
+		simFinish := unit.Time(j.finishAt.Sub(start).Seconds() * cfg.TimeScale)
+		res.Jobs = append(res.Jobs, JobResult{ID: j.spec.ID, Start: 0, Finish: simFinish})
+		if d := unit.Duration(simFinish); d > makespan {
+			makespan = d
+		}
+	}
+	sort.Slice(res.Jobs, func(i, j int) bool { return res.Jobs[i].ID < res.Jobs[j].ID })
+	res.Makespan = makespan
+	return res, nil
+}
+
+// bed holds the scheduler-side state.
+type bed struct {
+	cfg   Config
+	mgr   *datamgr.Manager
+	jobs  []*jobRun
+	start time.Time
+}
+
+// views builds the policy's job views from live counters.
+func (b *bed) views() []core.JobView {
+	out := make([]core.JobView, 0, len(b.jobs))
+	for _, j := range b.jobs {
+		j.mu.Lock()
+		rem := j.remaining
+		fin := j.finished
+		run := j.running
+		j.mu.Unlock()
+		if fin {
+			continue
+		}
+		key := j.spec.Dataset.Name
+		if b.cfg.System.PrivateCaches() {
+			key = policy.CoorDLKey(j.spec.ID)
+		}
+		cached := b.mgr.CachedBytes(key)
+		if cached > j.spec.Dataset.Size {
+			cached = j.spec.Dataset.Size
+		}
+		// Effective cache is the epoch-start snapshot the data manager
+		// tracks (§6) — NOT the live contents: blocks admitted this
+		// epoch serve no reads until the next pass, so demand must be
+		// sized against the snapshot or warming jobs get starved as
+		// their cache fills.
+		effective := unit.Bytes(0)
+		if st, err := b.mgr.Stats(j.spec.ID); err == nil {
+			effective = st.EffectiveCached
+			if effective > j.spec.Dataset.Size {
+				effective = j.spec.Dataset.Size
+			}
+		}
+		out = append(out, core.JobView{
+			ID:              j.spec.ID,
+			NumGPUs:         j.spec.NumGPUs,
+			Profile:         j.profile,
+			DatasetKey:      key,
+			DatasetSize:     j.spec.Dataset.Size,
+			RemainingBytes:  unit.Bytes(rem) * b.cfg.BlockSize,
+			AttainedBytes:   unit.Bytes(j.total-rem) * b.cfg.BlockSize,
+			EffectiveCached: effective,
+			CachedBytes:     cached,
+			Submit:          0,
+			Running:         run,
+		})
+	}
+	return out
+}
+
+// round runs one allocation round and pushes it into the data manager.
+func (b *bed) round() {
+	now := unit.Time(time.Since(b.start).Seconds() * b.cfg.TimeScale)
+	views := b.views()
+	if len(views) == 0 {
+		return
+	}
+	a := b.cfg.Policy.Assign(b.cfg.Cluster, now, views)
+	// Cache quotas.
+	mentioned := make(map[string]bool)
+	for key, q := range a.CacheQuota {
+		mentioned[key] = true
+		if err := b.mgr.AllocateCacheSize(key, q); err != nil {
+			panic(fmt.Sprintf("testbed: %v", err))
+		}
+	}
+	// Remote IO: honor policy allocations, then distribute leftovers
+	// (and everything, for uncontrolled systems) fair-share by demand,
+	// mirroring the simulator's work-conserving throttle.
+	demands := make([]remoteio.Demand, 0, len(views))
+	grants := make(map[string]float64, len(views))
+	var allocated float64
+	anyAlloc := false
+	for _, v := range views {
+		miss := 1.0
+		if v.DatasetSize > 0 {
+			miss = 1 - float64(v.EffectiveCached)/float64(v.DatasetSize)
+		}
+		want := float64(v.Profile.IdealThroughput) * miss
+		if bw, ok := a.RemoteIO[v.ID]; ok && bw > 0 {
+			grants[v.ID] = float64(bw)
+			allocated += float64(bw)
+			anyAlloc = true
+			want -= float64(bw)
+		}
+		if want > 0 {
+			demands = append(demands, remoteio.Demand{JobID: v.ID, Want: unit.Bandwidth(want)})
+		}
+	}
+	pool := float64(b.cfg.Cluster.RemoteIO)
+	if anyAlloc {
+		pool -= allocated
+	}
+	if pool > 0 && len(demands) > 0 {
+		share := remoteio.FairShare(unit.Bandwidth(pool), demands)
+		for id, bw := range share {
+			grants[id] += float64(bw)
+		}
+	}
+	// Apply decreases before increases: replacing rates one at a time
+	// against a live ledger would otherwise transiently oversubscribe
+	// (job A's new high rate lands while job B still holds last round's
+	// high rate).
+	type update struct {
+		id     string
+		scaled unit.Bandwidth
+	}
+	var raises []update
+	for _, v := range views {
+		scaled := unit.Bandwidth(grants[v.ID] * b.cfg.TimeScale)
+		if st, err := b.mgr.Stats(v.ID); err == nil && scaled > st.RemoteIO {
+			raises = append(raises, update{v.ID, scaled})
+			continue
+		}
+		if err := b.mgr.AllocateRemoteIO(v.ID, scaled); err != nil {
+			panic(fmt.Sprintf("testbed: %v", err))
+		}
+	}
+	for _, u := range raises {
+		if err := b.mgr.AllocateRemoteIO(u.id, u.scaled); err != nil {
+			panic(fmt.Sprintf("testbed: %v", err))
+		}
+	}
+	// GPU starts (no preemption: once started, a job runs to finish).
+	for _, j := range b.jobs {
+		j.mu.Lock()
+		if !j.finished && !j.running && a.GPUs[j.spec.ID] > 0 {
+			j.running = true
+			j.startAt = time.Now()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// runJob drives one job's loader+compute pipeline: the loader goroutine
+// reads blocks through the data manager (sleeping out throttle delays
+// on misses) into a bounded channel; the compute loop sleeps the scaled
+// step time per block, exactly the paper's accelerated-GPU method.
+func (b *bed) runJob(j *jobRun, stop <-chan struct{}) {
+	// Wait until granted GPUs.
+	for {
+		j.mu.Lock()
+		run := j.running
+		j.mu.Unlock()
+		if run {
+			break
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+	computeWall := time.Duration(float64(unit.DivBandwidth(b.cfg.BlockSize, j.profile.IdealThroughput)) /
+		b.cfg.TimeScale * float64(time.Second))
+	loaded := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // loader
+		defer wg.Done()
+		defer close(loaded)
+		for i := int64(0); i < j.total; i++ {
+			blk, newEpoch := j.stream.Next()
+			if newEpoch {
+				if err := b.mgr.EpochStart(j.spec.ID); err != nil {
+					panic(fmt.Sprintf("testbed: %v", err))
+				}
+			}
+			res, err := b.mgr.Read(j.spec.ID, blk)
+			if err != nil {
+				panic(fmt.Sprintf("testbed: %v", err))
+			}
+			if res.Wait > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(res.Wait):
+				}
+			}
+			select {
+			case <-stop:
+				return
+			case loaded <- struct{}{}:
+			}
+		}
+	}()
+	// Compute loop.
+	for range loaded {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		case <-time.After(computeWall):
+		}
+		j.mu.Lock()
+		j.remaining--
+		rem := j.remaining
+		j.mu.Unlock()
+		if rem <= 0 {
+			break
+		}
+	}
+	j.mu.Lock()
+	j.finished = true
+	j.running = false
+	j.finishAt = time.Now()
+	j.mu.Unlock()
+	b.mgr.DetachJob(j.spec.ID)
+	wg.Wait()
+}

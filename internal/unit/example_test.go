@@ -1,0 +1,34 @@
+package unit_test
+
+import (
+	"fmt"
+
+	"repro/internal/unit"
+)
+
+func ExampleParseBytes() {
+	for _, s := range []string{"143GB", "1.36TB", "64MB"} {
+		b, _ := unit.ParseBytes(s)
+		fmt.Println(b)
+	}
+	// Output:
+	// 143.00GB
+	// 1.36TB
+	// 64.00MB
+}
+
+func ExampleGbps() {
+	// The paper's 1.6 Gbps micro-benchmark egress limit is 200 MB/s.
+	fmt.Println(unit.Gbps(1.6))
+	// Output:
+	// 200.00MB/s
+}
+
+func ExampleDivBandwidth() {
+	// Reading 1.36 TB at 114 MB/s takes ~208 minutes: one ImageNet-22k
+	// epoch for ResNet-50 on a V100.
+	d := unit.DivBandwidth(unit.TiB(1.36), unit.MBpsOf(114))
+	fmt.Printf("%.0f minutes\n", d.Minutes())
+	// Output:
+	// 208 minutes
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/unit"
+)
+
+// traceRecord is the JSONL on-disk form of a JobSpec. Models are
+// referenced by catalog name so traces stay small and stable across
+// catalog refinements.
+type traceRecord struct {
+	ID          string          `json:"id"`
+	Model       string          `json:"model"`
+	Dataset     string          `json:"dataset"`
+	DatasetSize unit.Bytes      `json:"dataset_size"`
+	NumGPUs     int             `json:"num_gpus"`
+	NumSteps    int64           `json:"num_steps"`
+	SubmitSec   float64         `json:"submit_sec"`
+	SpeedScale  float64         `json:"speed_scale,omitempty"`
+	Curriculum  *CurriculumSpec `json:"curriculum,omitempty"`
+}
+
+// WriteTrace writes jobs as JSON lines.
+func WriteTrace(w io.Writer, jobs []JobSpec) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, j := range jobs {
+		rec := traceRecord{
+			ID:          j.ID,
+			Model:       j.Model.Name,
+			Dataset:     j.Dataset.Name,
+			DatasetSize: j.Dataset.Size,
+			NumGPUs:     j.NumGPUs,
+			NumSteps:    j.NumSteps,
+			SubmitSec:   float64(j.Submit),
+			SpeedScale:  j.SpeedScale,
+			Curriculum:  j.Curriculum,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("workload: write trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]JobSpec, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var jobs []JobSpec
+	for {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: read trace record %d: %w", len(jobs), err)
+		}
+		model, err := ModelByName(rec.Model)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", len(jobs), err)
+		}
+		spec := JobSpec{
+			ID:         rec.ID,
+			Model:      model,
+			Dataset:    Dataset{Name: rec.Dataset, Size: rec.DatasetSize},
+			NumGPUs:    rec.NumGPUs,
+			NumSteps:   rec.NumSteps,
+			Submit:     unit.Time(rec.SubmitSec),
+			SpeedScale: rec.SpeedScale,
+			Curriculum: rec.Curriculum,
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, spec)
+	}
+	return jobs, nil
+}
