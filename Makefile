@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench baseline clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: compile everything, vet, full suite
+# under the race detector.
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# baseline regenerates BENCH_baseline.json from the metrics counters.
+baseline:
+	$(GO) test . -run TestEmitBenchBaseline
+
+clean:
+	$(GO) clean ./...

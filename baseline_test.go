@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// baselineEntry is one (scheduler, cache system) row of the
+// machine-readable benchmark baseline.
+type baselineEntry struct {
+	Scheduler     string  `json:"scheduler"`
+	System        string  `json:"system"`
+	Jobs          int     `json:"jobs"`
+	AvgJCTMin     float64 `json:"avg_jct_minutes"`
+	MakespanMin   float64 `json:"makespan_minutes"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// baselineFile is the BENCH_baseline.json document.
+type baselineFile struct {
+	Description string          `json:"description"`
+	Seed        int64           `json:"seed"`
+	GPUs        int             `json:"gpus"`
+	Entries     []baselineEntry `json:"entries"`
+}
+
+// TestEmitBenchBaseline regenerates BENCH_baseline.json at the repo
+// root: the headline numbers (avg JCT, makespan, cache hit ratio) for
+// Gavel over every cache system on a fixed trace and seed, pulled from
+// the metrics subsystem rather than ad-hoc accounting. The run is
+// deterministic, so diffs of this file are real behavior changes.
+func TestEmitBenchBaseline(t *testing.T) {
+	const seed = 42
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(seed, 24, 2*unit.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := core.Cluster{GPUs: 32, Cache: 4 * unit.TB, RemoteIO: unit.MBpsOf(400)}
+
+	out := baselineFile{
+		Description: "deterministic benchmark baseline: Gavel scheduler over each cache system, fluid engine",
+		Seed:        seed,
+		GPUs:        cluster.GPUs,
+	}
+	for _, cs := range []policy.CacheSystem{policy.SiloD, policy.Alluxio, policy.CoorDL, policy.Quiver} {
+		pol, err := policy.Build(policy.GavelKind, cs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.NewRegistry("baseline")
+		res, err := sim.Run(sim.Config{
+			Cluster: cluster,
+			Policy:  pol,
+			System:  cs,
+			Engine:  sim.Fluid,
+			Seed:    seed,
+			Metrics: reg,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", cs, err)
+		}
+		snap := reg.Snapshot()
+		hit := snap.CounterValue("silod_sim_cache_hit_bytes_total", nil)
+		miss := snap.CounterValue("silod_sim_cache_miss_bytes_total", nil)
+		ratio := 0.0
+		if hit+miss > 0 {
+			ratio = hit / (hit + miss)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Fatalf("%s: %d of %d jobs finished", cs, len(res.Jobs), len(jobs))
+		}
+		out.Entries = append(out.Entries, baselineEntry{
+			Scheduler:     policy.GavelKind.String(),
+			System:        cs.String(),
+			Jobs:          len(res.Jobs),
+			AvgJCTMin:     res.AvgJCT().Minutes(),
+			MakespanMin:   res.Makespan.Minutes(),
+			CacheHitRatio: ratio,
+		})
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_baseline.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: SiloD should at least match every baseline on avg JCT,
+	// and every run must have exercised the cache.
+	silod := out.Entries[0]
+	for _, e := range out.Entries {
+		if e.CacheHitRatio <= 0 || e.CacheHitRatio >= 1 {
+			t.Errorf("%s: cache hit ratio %v outside (0, 1)", e.System, e.CacheHitRatio)
+		}
+		if silod.AvgJCTMin > e.AvgJCTMin*1.001 {
+			t.Errorf("SiloD avg JCT %.2f min worse than %s's %.2f min", silod.AvgJCTMin, e.System, e.AvgJCTMin)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/datamgr"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/unit"
 )
@@ -67,6 +68,7 @@ func run(args []string) error {
 	}
 
 	mgr := datamgr.New(cacheBytes, unit.Bandwidth(remoteBytes), *seed, nil)
+	mgr.EnableMetrics(metrics.NewRegistry("datamgr"))
 	dmSrv := controlplane.NewDataManagerServer(mgr)
 	cluster := core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)}
 	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr})

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -202,6 +204,7 @@ func run(args []string, w *os.File) error {
 	remoteStr := fs.String("remote", "1GB", "remote IO capacity in bytes/sec (trace mode), e.g. 1GB")
 	engine := fs.String("engine", "fluid", "simulation engine: fluid | batch")
 	csvDir := fs.String("csv", "", "write timeline series as CSV files into this directory (trace mode)")
+	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, per-job events) to this file (trace mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,7 +223,7 @@ func run(args []string, w *os.File) error {
 
 	o := experiments.Options{Seed: *seed, Jobs: *jobsN, Quick: *quick}
 	if *trace != "" {
-		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir)
+		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut)
 	}
 	if *all {
 		ids := make([]string, 0, len(runners))
@@ -244,7 +247,7 @@ func run(args []string, w *os.File) error {
 }
 
 // runTrace simulates a trace file under one (scheduler, system) pair.
-func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir string) error {
+func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir, metricsOut string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -278,12 +281,20 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 	if engine == "batch" {
 		eng = sim.Batch
 	}
+	var reg *metrics.Registry
+	var tl *metrics.Timeline
+	if metricsOut != "" {
+		reg = metrics.NewRegistry("silodsim")
+		tl = metrics.NewTimeline(0)
+	}
 	res, err := sim.Run(sim.Config{
-		Cluster: core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)},
-		Policy:  pol,
-		System:  cs,
-		Engine:  eng,
-		Seed:    seed,
+		Cluster:  core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)},
+		Policy:   pol,
+		System:   cs,
+		Engine:   eng,
+		Seed:     seed,
+		Metrics:  reg,
+		Timeline: tl,
 	}, jobs)
 	if err != nil {
 		return err
@@ -301,7 +312,57 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 		}
 		fmt.Fprintf(w, "timeline CSVs written to %s\n", csvDir)
 	}
+	if metricsOut != "" {
+		if err := writeMetricsDump(metricsOut, metricsDump{
+			Summary: dumpSummary{
+				Scheduler:   k.String(),
+				System:      cs.String(),
+				Engine:      eng.String(),
+				Jobs:        len(res.Jobs),
+				AvgJCTMin:   res.AvgJCT().Minutes(),
+				MakespanMin: res.Makespan.Minutes(),
+			},
+			Snapshot: reg.Snapshot(),
+			Timeline: tl.Events(),
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics snapshot written to %s\n", metricsOut)
+	}
 	return nil
+}
+
+// metricsDump is the -metrics JSON artifact: a run summary, the full
+// registry snapshot, and the per-job event timeline.
+type metricsDump struct {
+	Summary  dumpSummary      `json:"summary"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+	Timeline []metrics.Event  `json:"timeline"`
+}
+
+// dumpSummary identifies the run the snapshot came from.
+type dumpSummary struct {
+	Scheduler   string  `json:"scheduler"`
+	System      string  `json:"system"`
+	Engine      string  `json:"engine"`
+	Jobs        int     `json:"jobs"`
+	AvgJCTMin   float64 `json:"avg_jct_minutes"`
+	MakespanMin float64 `json:"makespan_minutes"`
+}
+
+// writeMetricsDump writes the dump as indented JSON.
+func writeMetricsDump(path string, d metricsDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTimelineCSVs dumps every timeline series of a run as CSV files,

@@ -19,6 +19,7 @@ type LRUPool struct {
 	keys     map[string]*lruKeyState
 	order    *list.List // front = most recent; values are *lruEntry
 	total    unit.Bytes
+	met      PoolMetrics
 }
 
 type lruKeyState struct {
@@ -70,8 +71,10 @@ func (p *LRUPool) Access(key string, blk BlockID) (Outcome, error) {
 	}
 	if el, ok := st.entries[blk]; ok {
 		p.order.MoveToFront(el)
+		p.met.Hits.Inc()
 		return Outcome{Hit: true}, nil
 	}
+	p.met.Misses.Inc()
 	if st.blockSize > p.capacity {
 		return Outcome{}, nil // block can never fit
 	}
@@ -84,6 +87,8 @@ func (p *LRUPool) Access(key string, blk BlockID) (Outcome, error) {
 	st.entries[blk] = el
 	st.cached.Set(int(blk))
 	p.total += st.blockSize
+	p.met.Admissions.Inc()
+	p.met.Resident.Set(float64(p.total))
 	return Outcome{Admitted: true}, nil
 }
 
@@ -99,6 +104,8 @@ func (p *LRUPool) evictLRU() bool {
 	delete(st.entries, e.blk)
 	st.cached.Clear(int(e.blk))
 	p.total -= st.blockSize
+	p.met.Evictions.Inc()
+	p.met.Resident.Set(float64(p.total))
 	return true
 }
 
@@ -157,6 +164,8 @@ func (p *LRUPool) DropKey(key string) {
 		p.total -= st.blockSize
 		st.cached.Clear(int(blk))
 	}
+	p.met.Evictions.Add(int64(len(st.entries)))
+	p.met.Resident.Set(float64(p.total))
 	delete(p.keys, key)
 }
 

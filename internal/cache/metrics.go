@@ -1,0 +1,39 @@
+package cache
+
+import "repro/internal/metrics"
+
+// PoolMetrics is the cache instrumentation surface: pre-interned
+// handles a pool updates on its access and eviction paths. The zero
+// value (all-nil handles) no-ops, so pools are instrumented
+// unconditionally and pay a few nil-checked atomic calls only when a
+// registry is attached via SetMetrics.
+type PoolMetrics struct {
+	Hits       *metrics.Counter // silod_cache_hits_total
+	Misses     *metrics.Counter // silod_cache_misses_total (admitted or not)
+	Admissions *metrics.Counter // silod_cache_admissions_total
+	Evictions  *metrics.Counter // silod_cache_evictions_total
+	Resident   *metrics.Gauge   // silod_cache_resident_bytes
+}
+
+// NewPoolMetrics interns the standard cache metric family under the
+// given policy label ("lru" for the Alluxio baseline, "uniform" for
+// quota pools; the simulator labels by cache system: SiloD, CoorDL,
+// Quiver...).
+func NewPoolMetrics(r *metrics.Registry, policy string) PoolMetrics {
+	l := metrics.L("policy", policy)
+	return PoolMetrics{
+		Hits:       r.Counter("silod_cache_hits_total", l),
+		Misses:     r.Counter("silod_cache_misses_total", l),
+		Admissions: r.Counter("silod_cache_admissions_total", l),
+		Evictions:  r.Counter("silod_cache_evictions_total", l),
+		Resident:   r.Gauge("silod_cache_resident_bytes", l),
+	}
+}
+
+// SetMetrics attaches instrumentation to the pool. Pass the zero value
+// to detach.
+func (p *LRUPool) SetMetrics(m PoolMetrics) { p.met = m }
+
+// SetMetrics attaches instrumentation to the pool. Pass the zero value
+// to detach.
+func (p *QuotaPool) SetMetrics(m PoolMetrics) { p.met = m }

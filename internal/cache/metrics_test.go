@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+// counts reads the five standard cache metrics back from a registry.
+func counts(t *testing.T, r *metrics.Registry, policy string) (hits, misses, admits, evicts, resident float64) {
+	t.Helper()
+	snap := r.Snapshot()
+	l := map[string]string{"policy": policy}
+	return snap.CounterValue("silod_cache_hits_total", l),
+		snap.CounterValue("silod_cache_misses_total", l),
+		snap.CounterValue("silod_cache_admissions_total", l),
+		snap.CounterValue("silod_cache_evictions_total", l),
+		snap.CounterValue("silod_cache_resident_bytes", l)
+}
+
+// TestLRUPoolScriptedCounts drives the Alluxio-baseline pool through a
+// fixed access script and asserts the exact counter values.
+func TestLRUPoolScriptedCounts(t *testing.T) {
+	reg := metrics.NewRegistry("test")
+	p := NewLRUPool(2 * unit.MB) // room for exactly 2 blocks
+	p.SetMetrics(NewPoolMetrics(reg, "lru"))
+	if err := p.Register("ds", 4, unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	access := func(blk BlockID) Outcome {
+		out, err := p.Access("ds", blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	access(0) // miss, admit
+	access(0) // hit
+	access(1) // miss, admit (pool full)
+	access(2) // miss, admit, evicts LRU block 0
+	access(0) // miss again (was evicted), evicts block 1
+	access(2) // hit
+
+	hits, misses, admits, evicts, resident := counts(t, reg, "lru")
+	if hits != 2 || misses != 4 || admits != 4 || evicts != 2 {
+		t.Errorf("got hits=%v misses=%v admits=%v evicts=%v, want 2/4/4/2",
+			hits, misses, admits, evicts)
+	}
+	if want := float64(2 * unit.MB); resident != want {
+		t.Errorf("resident = %v, want %v", resident, want)
+	}
+
+	// DropKey evicts everything that remains.
+	p.DropKey("ds")
+	_, _, _, evicts, resident = counts(t, reg, "lru")
+	if evicts != 4 {
+		t.Errorf("evictions after DropKey = %v, want 4", evicts)
+	}
+	if resident != 0 {
+		t.Errorf("resident after DropKey = %v, want 0", resident)
+	}
+}
+
+// TestQuotaPoolScriptedCounts covers the uniform-quota pool (the SiloD,
+// CoorDL and Quiver cache mechanism): quota-bounded admission, rejected
+// misses, and random eviction on quota shrink.
+func TestQuotaPoolScriptedCounts(t *testing.T) {
+	reg := metrics.NewRegistry("test")
+	p := NewQuotaPool(10*unit.MB, simrng.New(7))
+	p.SetMetrics(NewPoolMetrics(reg, "uniform"))
+	if err := p.Register("ds", 8, unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetQuota("ds", 2*unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	access := func(blk BlockID) {
+		if _, err := p.Access("ds", blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	access(0) // miss, admit
+	access(1) // miss, admit (quota now full)
+	access(2) // miss, rejected: over quota
+	access(0) // hit
+	access(1) // hit
+
+	hits, misses, admits, evicts, resident := counts(t, reg, "uniform")
+	if hits != 2 || misses != 3 || admits != 2 || evicts != 0 {
+		t.Errorf("got hits=%v misses=%v admits=%v evicts=%v, want 2/3/2/0",
+			hits, misses, admits, evicts)
+	}
+	if want := float64(2 * unit.MB); resident != want {
+		t.Errorf("resident = %v, want %v", resident, want)
+	}
+
+	// Shrinking the quota evicts one uniformly random block.
+	if err := p.SetQuota("ds", unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, evicts, resident = counts(t, reg, "uniform")
+	if evicts != 1 {
+		t.Errorf("evictions after shrink = %v, want 1", evicts)
+	}
+	if want := float64(unit.MB); resident != want {
+		t.Errorf("resident after shrink = %v, want %v", resident, want)
+	}
+
+	// DropKey accounts the remaining block as evicted.
+	p.DropKey("ds")
+	_, _, _, evicts, resident = counts(t, reg, "uniform")
+	if evicts != 2 || resident != 0 {
+		t.Errorf("after DropKey: evicts=%v resident=%v, want 2/0", evicts, resident)
+	}
+}
+
+// TestCoorDLPrivateKeysShareOneFamily checks that per-job (CoorDL-style)
+// cache keys aggregate into the same labeled series: the label is the
+// policy, not the job.
+func TestCoorDLPrivateKeysShareOneFamily(t *testing.T) {
+	reg := metrics.NewRegistry("test")
+	p := NewQuotaPool(10*unit.MB, simrng.New(1))
+	p.SetMetrics(NewPoolMetrics(reg, "coordl"))
+	for _, key := range []string{"job/a", "job/b"} {
+		if err := p.Register(key, 2, unit.MB); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetQuota(key, 2*unit.MB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range []string{"job/a", "job/b"} {
+		if _, err := p.Access(key, 0); err != nil { // miss each
+			t.Fatal(err)
+		}
+		if _, err := p.Access(key, 0); err != nil { // hit each
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _, _, _ := counts(t, reg, "coordl")
+	if hits != 2 || misses != 2 {
+		t.Errorf("got hits=%v misses=%v, want 2/2", hits, misses)
+	}
+}
+
+// TestUninstrumentedPoolsStillWork guards the nil-handle path: pools
+// without SetMetrics must behave identically.
+func TestUninstrumentedPoolsStillWork(t *testing.T) {
+	p := NewLRUPool(unit.MB)
+	if err := p.Register("ds", 2, unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := p.Access("ds", 0); err != nil || out.Hit {
+		t.Fatalf("access = %+v, %v", out, err)
+	}
+	if out, err := p.Access("ds", 0); err != nil || !out.Hit {
+		t.Fatalf("second access = %+v, %v", out, err)
+	}
+}

@@ -65,6 +65,7 @@ type QuotaPool struct {
 	quotas   map[string]unit.Bytes
 	total    unit.Bytes
 	rng      *simrng.RNG
+	met      PoolMetrics
 }
 
 // NewQuotaPool returns an empty pool with the given capacity. The RNG
@@ -135,6 +136,8 @@ func (p *QuotaPool) evictRandom(st *keyState) {
 			if seen == target {
 				st.cached.Clear(i)
 				p.total -= st.blockSize
+				p.met.Evictions.Inc()
+				p.met.Resident.Set(float64(p.total))
 				return
 			}
 			seen++
@@ -153,14 +156,18 @@ func (p *QuotaPool) Access(key string, blk BlockID) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("cache: block %d out of range for %q (%d blocks)", blk, key, st.numBlocks)
 	}
 	if st.cached.Test(int(blk)) {
+		p.met.Hits.Inc()
 		return Outcome{Hit: true}, nil
 	}
+	p.met.Misses.Inc()
 	quota := p.quotas[key]
 	under := unit.Bytes(st.cached.Count()+1)*st.blockSize <= quota
 	fits := p.total+st.blockSize <= p.capacity
 	if under && fits {
 		st.cached.Set(int(blk))
 		p.total += st.blockSize
+		p.met.Admissions.Inc()
+		p.met.Resident.Set(float64(p.total))
 		return Outcome{Admitted: true}, nil
 	}
 	return Outcome{}, nil
@@ -217,6 +224,8 @@ func (p *QuotaPool) DropKey(key string) {
 		return
 	}
 	p.total -= unit.Bytes(st.cached.Count()) * st.blockSize
+	p.met.Evictions.Add(int64(st.cached.Count()))
+	p.met.Resident.Set(float64(p.total))
 	delete(p.keys, key)
 	delete(p.quotas, key)
 }

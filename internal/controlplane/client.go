@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/datamgr"
+	"repro/internal/metrics"
 	"repro/internal/unit"
 )
 
@@ -115,6 +116,21 @@ func (c *Client) Snapshot() (datamgr.Snapshot, error) {
 // Restore replays a snapshot into a (fresh) data manager.
 func (c *Client) Restore(s datamgr.Snapshot) error {
 	return c.doJSON("POST", "/v1/restore", s, nil)
+}
+
+// Metrics scrapes the server's /metrics endpoint and parses the
+// Prometheus text into samples — the client-side half of the
+// observability surface (works against both server kinds).
+func (c *Client) Metrics() ([]metrics.Sample, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("controlplane: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return metrics.ParsePrometheus(resp.Body)
 }
 
 // SubmitJob submits a job to a scheduler server.

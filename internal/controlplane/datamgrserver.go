@@ -33,6 +33,7 @@ func NewDataManagerServer(mgr *datamgr.Manager) *DataManagerServer {
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 

@@ -1,0 +1,57 @@
+package controlplane
+
+import (
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// schedMetrics is the scheduler daemon's own instrumentation. The
+// scheduler always carries a registry (the /metrics endpoint is part of
+// its API surface), so these handles are never nil.
+type schedMetrics struct {
+	rounds     *metrics.Counter // silod_sched_rounds_total
+	submitted  *metrics.Counter // silod_sched_jobs_submitted_total
+	pushErrors *metrics.Counter // silod_sched_push_errors_total
+	queueDepth *metrics.Gauge   // silod_sched_queue_depth
+	running    *metrics.Gauge   // silod_sched_running_jobs
+	gpusAlloc  *metrics.Gauge   // silod_sched_gpus_allocated
+}
+
+func newSchedMetrics(r *metrics.Registry) schedMetrics {
+	return schedMetrics{
+		rounds:     r.Counter("silod_sched_rounds_total"),
+		submitted:  r.Counter("silod_sched_jobs_submitted_total"),
+		pushErrors: r.Counter("silod_sched_push_errors_total"),
+		queueDepth: r.Gauge("silod_sched_queue_depth"),
+		running:    r.Gauge("silod_sched_running_jobs"),
+		gpusAlloc:  r.Gauge("silod_sched_gpus_allocated"),
+	}
+}
+
+// Registry returns the scheduler's metrics registry (never nil).
+func (s *SchedulerServer) Registry() *metrics.Registry { return s.registry }
+
+// handleMetrics serves the registry in Prometheus text format.
+func (s *SchedulerServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	servePrometheus(w, s.registry)
+}
+
+// Registry returns the wrapped manager's registry (nil unless
+// EnableMetrics was called on it).
+func (s *DataManagerServer) Registry() *metrics.Registry { return s.mgr.Registry() }
+
+func (s *DataManagerServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	servePrometheus(w, s.mgr.Registry())
+}
+
+// servePrometheus writes a registry as text exposition format 0.0.4. A
+// nil registry serves an empty (valid) page rather than an error, so
+// scrapers keep working when instrumentation is off.
+func servePrometheus(w http.ResponseWriter, r *metrics.Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r == nil {
+		return
+	}
+	_ = r.WritePrometheus(w)
+}

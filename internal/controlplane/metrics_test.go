@@ -1,0 +1,119 @@
+package controlplane
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/datamgr"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/unit"
+)
+
+// sampleValue finds one parsed sample by name (+ optional label match).
+func sampleValue(samples []metrics.Sample, name string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestSchedulerMetricsEndpoint submits jobs, runs a round, then scrapes
+// GET /metrics over real HTTP and parses the exposition text.
+func TestSchedulerMetricsEndpoint(t *testing.T) {
+	pol, err := policy.Build(policy.GavelKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedClient, _, _, shutdown := newStack(t, pol)
+	defer shutdown()
+
+	for _, id := range []string{"a", "b", "c"} {
+		if err := schedClient.SubmitJob(submitReq(id, 4, unit.GiB(10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := schedClient.TriggerSchedule(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := schedClient.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sampleValue(samples, "silod_sched_jobs_submitted_total"); !ok || v != 3 {
+		t.Errorf("jobs_submitted = %v (found %v), want 3", v, ok)
+	}
+	if v, ok := sampleValue(samples, "silod_sched_rounds_total"); !ok || v < 1 {
+		t.Errorf("rounds = %v (found %v), want >= 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "silod_sched_gpus_allocated"); !ok || v <= 0 || v > 8 {
+		t.Errorf("gpus_allocated = %v (found %v), want in (0, 8]", v, ok)
+	}
+	run, okR := sampleValue(samples, "silod_sched_running_jobs")
+	que, okQ := sampleValue(samples, "silod_sched_queue_depth")
+	if !okR || !okQ || run+que != 3 {
+		t.Errorf("running %v + queued %v != 3 submitted", run, que)
+	}
+}
+
+// TestDataManagerMetricsEndpoint enables metrics on a manager, drives
+// reads through the HTTP API, and scrapes the cache counters back.
+func TestDataManagerMetricsEndpoint(t *testing.T) {
+	mgr := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 1, nil)
+	mgr.EnableMetrics(metrics.NewRegistry("datamgr"))
+	srv := httptest.NewServer(NewDataManagerServer(mgr))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.RegisterDataset("ds", unit.GiB(1), 64*unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachJob("j", "ds"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AllocateCacheSize("ds", unit.GiB(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AllocateRemoteIO("j", unit.MBpsOf(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("j", 0); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := c.Read("j", 0); err != nil { // hit
+		t.Fatal(err)
+	}
+
+	samples, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if byName["silod_cache_hits_total"] != 1 || byName["silod_cache_misses_total"] != 1 {
+		t.Errorf("hits/misses = %v/%v, want 1/1", byName["silod_cache_hits_total"], byName["silod_cache_misses_total"])
+	}
+	if byName["silod_remoteio_utilization_ratio"] != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", byName["silod_remoteio_utilization_ratio"])
+	}
+}
+
+// TestMetricsEndpointWithoutRegistry: a manager without EnableMetrics
+// serves an empty, parseable page (not an error).
+func TestMetricsEndpointWithoutRegistry(t *testing.T) {
+	mgr := datamgr.New(unit.GiB(1), unit.MBpsOf(10), 1, nil)
+	srv := httptest.NewServer(NewDataManagerServer(mgr))
+	defer srv.Close()
+	samples, err := NewClient(srv.URL).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Errorf("got %d samples from uninstrumented manager", len(samples))
+	}
+}

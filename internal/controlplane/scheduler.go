@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/metrics"
 	"repro/internal/unit"
 )
 
@@ -41,13 +42,15 @@ type schedJob struct {
 // compute-only scheduler to joint compute-storage allocation, pushing
 // decisions to the data plane and persisting them as annotations.
 type SchedulerServer struct {
-	mu      sync.Mutex
-	cluster core.Cluster
-	policy  core.Policy
-	dp      DataPlane
-	jobs    map[string]*schedJob
-	epoch   time.Time // scheduler start, for Submit timestamps
-	mux     *http.ServeMux
+	mu       sync.Mutex
+	cluster  core.Cluster
+	policy   core.Policy
+	dp       DataPlane
+	jobs     map[string]*schedJob
+	epoch    time.Time // scheduler start, for Submit timestamps
+	mux      *http.ServeMux
+	registry *metrics.Registry
+	met      schedMetrics
 }
 
 // NewSchedulerServer builds a scheduler for the cluster driving dp with
@@ -60,13 +63,15 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane) (*S
 		return nil, fmt.Errorf("controlplane: scheduler needs a policy and a data plane")
 	}
 	s := &SchedulerServer{
-		cluster: cluster,
-		policy:  pol,
-		dp:      dp,
-		jobs:    make(map[string]*schedJob),
-		epoch:   time.Now(),
-		mux:     http.NewServeMux(),
+		cluster:  cluster,
+		policy:   pol,
+		dp:       dp,
+		jobs:     make(map[string]*schedJob),
+		epoch:    time.Now(),
+		mux:      http.NewServeMux(),
+		registry: metrics.NewRegistry("scheduler"),
 	}
+	s.met = newSchedMetrics(s.registry)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/progress", s.handleProgress)
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
@@ -75,6 +80,7 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane) (*S
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -102,6 +108,7 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 	}
 	s.jobs[req.JobID] = &schedJob{req: req, submitted: time.Now()}
 	s.mu.Unlock()
+	s.met.submitted.Inc()
 	if err := s.dp.RegisterDataset(req.Dataset, req.DatasetSize, 0); err != nil {
 		return err
 	}
@@ -167,12 +174,23 @@ func (s *SchedulerServer) Schedule() error {
 	for _, v := range views {
 		byID[v.ID] = s.jobs[v.ID]
 	}
+	var runningJobs, gpusAlloc, queued int
 	for id, j := range byID {
 		j.gpus = a.GPUs[id]
 		j.running = j.gpus > 0
 		j.remoteIO = a.RemoteIO[id]
 		j.quota = a.CacheQuota[j.req.Dataset]
+		if j.running {
+			runningJobs++
+			gpusAlloc += j.gpus
+		} else {
+			queued++
+		}
 	}
+	s.met.rounds.Inc()
+	s.met.running.Set(float64(runningJobs))
+	s.met.gpusAlloc.Set(float64(gpusAlloc))
+	s.met.queueDepth.Set(float64(queued))
 	quotas := make(map[string]unit.Bytes, len(a.CacheQuota))
 	for k, v := range a.CacheQuota {
 		quotas[k] = v
@@ -186,11 +204,13 @@ func (s *SchedulerServer) Schedule() error {
 	// Push to the data plane outside the lock.
 	for ds, q := range quotas {
 		if err := s.dp.AllocateCacheSize(ds, q); err != nil {
+			s.met.pushErrors.Inc()
 			return err
 		}
 	}
 	for id, bw := range remote {
 		if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
+			s.met.pushErrors.Inc()
 			return err
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/metrics"
 	"repro/internal/remoteio"
 	"repro/internal/simrng"
 	"repro/internal/unit"
@@ -53,6 +54,9 @@ type Manager struct {
 	jobs     map[string]*jobState
 	datasets map[string]datasetInfo
 	clock    func() time.Time
+
+	registry  *metrics.Registry
+	bucketMet remoteio.BucketMetrics // shared by every job's token bucket
 }
 
 // New returns a manager over a cache of the given capacity and a remote
@@ -98,12 +102,14 @@ func (m *Manager) AttachJob(jobID, dataset string) error {
 	if _, dup := m.jobs[jobID]; dup {
 		return fmt.Errorf("datamgr: job %s already attached", jobID)
 	}
-	m.jobs[jobID] = &jobState{
+	js := &jobState{
 		id:       jobID,
 		dataset:  dataset,
 		bucket:   remoteio.NewTokenBucket(0, di.blockSize, m.clock),
 		accessed: cache.NewBitset(di.numBlocks),
 	}
+	js.bucket.SetMetrics(m.bucketMet)
+	m.jobs[jobID] = js
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package datamgr
+
+import (
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/remoteio"
+)
+
+// EnableMetrics attaches a registry to the manager: the cache pool, the
+// remote IO ledger, and every job's token bucket (existing and future)
+// report into it. Call once, before or after jobs attach; calling with
+// nil detaches everything.
+func (m *Manager) EnableMetrics(r *metrics.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registry = r
+	if r == nil {
+		m.pool.SetMetrics(cache.PoolMetrics{})
+		m.ledger.SetMetrics(remoteio.LedgerMetrics{})
+		m.bucketMet = remoteio.BucketMetrics{}
+	} else {
+		m.pool.SetMetrics(cache.NewPoolMetrics(r, "uniform"))
+		m.ledger.SetMetrics(remoteio.NewLedgerMetrics(r))
+		m.bucketMet = remoteio.NewBucketMetrics(r)
+	}
+	for _, js := range m.jobs {
+		js.bucket.SetMetrics(m.bucketMet)
+	}
+}
+
+// Registry returns the attached registry (nil if EnableMetrics was
+// never called), so servers can expose it.
+func (m *Manager) Registry() *metrics.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.registry
+}

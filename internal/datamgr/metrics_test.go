@@ -1,0 +1,75 @@
+package datamgr
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/unit"
+)
+
+// TestEnableMetrics drives a small read sequence through the manager
+// and checks the registry reflects the cache, ledger, and bucket
+// activity — including buckets of jobs attached after EnableMetrics.
+func TestEnableMetrics(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := New(10*unit.MB, unit.MBpsOf(100), 1, func() time.Time { return now })
+	reg := metrics.NewRegistry("datamgr")
+	m.EnableMetrics(reg)
+	if m.Registry() != reg {
+		t.Fatal("Registry() did not return the attached registry")
+	}
+
+	if err := m.RegisterDataset("ds", 4*unit.MB, unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachJob("job-1", "ds"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocateCacheSize("ds", 2*unit.MB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocateRemoteIO("job-1", unit.MBpsOf(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(blk int) {
+		if _, err := m.Read("job-1", blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(0) // miss, admitted
+	read(0) // hit
+	read(1) // miss, admitted
+	read(2) // miss, over quota
+
+	snap := reg.Snapshot()
+	pol := map[string]string{"policy": "uniform"}
+	if got := snap.CounterValue("silod_cache_hits_total", pol); got != 1 {
+		t.Errorf("hits = %v, want 1", got)
+	}
+	if got := snap.CounterValue("silod_cache_misses_total", pol); got != 3 {
+		t.Errorf("misses = %v, want 3", got)
+	}
+	if got := snap.CounterValue("silod_remoteio_egress_bytes_total", nil); got != float64(3*unit.MB) {
+		t.Errorf("egress = %v, want %v", got, float64(3*unit.MB))
+	}
+	if got := snap.CounterValue("silod_remoteio_utilization_ratio", nil); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+
+	// A job attached after EnableMetrics shares the same bucket counters.
+	if err := m.AttachJob("job-2", "ds"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocateRemoteIO("job-2", unit.MBpsOf(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read("job-2", 3); err != nil { // miss
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.CounterValue("silod_remoteio_egress_bytes_total", nil); got != float64(4*unit.MB) {
+		t.Errorf("egress after second job = %v, want %v", got, float64(4*unit.MB))
+	}
+}

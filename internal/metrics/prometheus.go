@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one "# TYPE" header per family, series sorted
+// deterministically, histograms expanded into cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range snap.Metrics {
+		if m.Name != lastName {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+			lastName = m.Name
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name, formatLabels(m.Labels, "le", b.LE), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.Name, formatLabels(m.Labels, "", ""), formatValue(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, formatLabels(m.Labels, "", ""), m.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", m.Name, formatLabels(m.Labels, "", ""), formatValue(*m.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLabels renders {k="v",...}; extraKey/extraVal append one more
+// pair (the histogram "le" label). Returns "" for an empty set.
+func formatLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	add := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	for _, k := range keys {
+		add(k, labels[k])
+	}
+	if extraKey != "" {
+		add(extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Sample is one parsed Prometheus text sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus parses the text exposition format back into samples —
+// the consumer side the control-plane scrape tests (and silodctl) use.
+// Comment and blank lines are skipped; histogram expansions come back
+// as their _bucket/_sum/_count series.
+func ParsePrometheus(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{}
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unclosed label set in %q", line)
+		}
+		labels, err := parseLabelSet(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp (which we never emit) would be a second field.
+	if i := strings.IndexAny(valStr, " \t"); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabelSet(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		labels[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry("node")
+	r.Counter("silod_cache_hits_total", L("policy", "uniform")).Add(7)
+	r.Gauge("silod_remoteio_utilization_ratio").Set(0.75)
+	h := r.Histogram("silod_sim_jct_minutes", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE silod_cache_hits_total counter",
+		`silod_cache_hits_total{policy="uniform"} 7`,
+		"# TYPE silod_remoteio_utilization_ratio gauge",
+		"silod_remoteio_utilization_ratio 0.75",
+		"# TYPE silod_sim_jct_minutes histogram",
+		`silod_sim_jct_minutes_bucket{le="10"} 1`,
+		`silod_sim_jct_minutes_bucket{le="100"} 2`,
+		`silod_sim_jct_minutes_bucket{le="+Inf"} 3`,
+		"silod_sim_jct_minutes_sum 555",
+		"silod_sim_jct_minutes_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]Sample)
+	for _, s := range samples {
+		key := s.Name
+		for _, k := range []string{"policy", "le"} {
+			if v, ok := s.Labels[k]; ok {
+				key += "|" + k + "=" + v
+			}
+		}
+		byKey[key] = s
+	}
+	if s, ok := byKey["silod_cache_hits_total|policy=uniform"]; !ok || s.Value != 7 {
+		t.Errorf("parsed counter = %+v", s)
+	}
+	if s, ok := byKey["silod_sim_jct_minutes_bucket|le=+Inf"]; !ok || s.Value != 3 {
+		t.Errorf("parsed +Inf bucket = %+v", s)
+	}
+	if s, ok := byKey["silod_sim_jct_minutes_count"]; !ok || s.Value != 3 {
+		t.Errorf("parsed count = %+v", s)
+	}
+}
+
+func TestParsePrometheusEscapes(t *testing.T) {
+	text := "m{k=\"a\\\"b\\\\c\\nd\"} 1\n"
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if got := samples[0].Labels["k"]; got != "a\"b\\c\nd" {
+		t.Errorf("label value = %q", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"noval",
+		"m{unclosed 1",
+		"m{k=unquoted} 1",
+		"m{k=\"v\"} notanumber",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestEscapedLabelValueRoundTrip(t *testing.T) {
+	r := NewRegistry("t")
+	r.Counter("m", L("k", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse of own output: %v\n%s", err, b.String())
+	}
+	if got := samples[0].Labels["k"]; got != "a\"b\\c\nd" {
+		t.Errorf("round-tripped label = %q", got)
+	}
+}

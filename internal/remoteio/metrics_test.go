@@ -1,0 +1,57 @@
+package remoteio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/unit"
+)
+
+func TestLedgerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry("test")
+	l := NewLedger(unit.MBpsOf(100))
+	l.SetMetrics(NewLedgerMetrics(reg))
+
+	if err := l.Set("job-a", unit.MBpsOf(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("job-b", unit.MBpsOf(35)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("silod_remoteio_allocated_bytes_per_sec", nil); got != float64(unit.MBpsOf(75)) {
+		t.Errorf("allocated = %v, want %v", got, float64(unit.MBpsOf(75)))
+	}
+	if got := snap.CounterValue("silod_remoteio_utilization_ratio", nil); got != 0.75 {
+		t.Errorf("utilization = %v, want 0.75", got)
+	}
+
+	l.Remove("job-a")
+	snap = reg.Snapshot()
+	if got := snap.CounterValue("silod_remoteio_utilization_ratio", nil); got != 0.35 {
+		t.Errorf("utilization after remove = %v, want 0.35", got)
+	}
+}
+
+func TestBucketMetrics(t *testing.T) {
+	reg := metrics.NewRegistry("test")
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewTokenBucket(unit.MBpsOf(10), 5*unit.MB, clock)
+	b.SetMetrics(NewBucketMetrics(reg))
+
+	if d := b.Reserve(4 * unit.MB); d != 0 {
+		t.Errorf("first reserve waited %v", d)
+	}
+	if d := b.Reserve(4 * unit.MB); d <= 0 {
+		t.Errorf("second reserve should throttle, waited %v", d)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("silod_remoteio_egress_bytes_total", nil); got != float64(8*unit.MB) {
+		t.Errorf("egress = %v, want %v", got, float64(8*unit.MB))
+	}
+	if got := snap.CounterValue("silod_remoteio_throttle_events_total", nil); got != 1 {
+		t.Errorf("throttles = %v, want 1", got)
+	}
+}

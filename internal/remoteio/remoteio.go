@@ -21,6 +21,7 @@ import (
 type Ledger struct {
 	capacity unit.Bandwidth
 	alloc    map[string]unit.Bandwidth
+	met      LedgerMetrics
 }
 
 // NewLedger returns an empty ledger with the given egress capacity.
@@ -45,6 +46,7 @@ func (l *Ledger) Set(jobID string, bw unit.Bandwidth) error {
 			bw, jobID, l.capacity, l.Allocated()-l.alloc[jobID])
 	}
 	l.alloc[jobID] = bw
+	l.publish()
 	return nil
 }
 
@@ -52,7 +54,10 @@ func (l *Ledger) Set(jobID string, bw unit.Bandwidth) error {
 func (l *Ledger) Get(jobID string) unit.Bandwidth { return l.alloc[jobID] }
 
 // Remove forgets jobID's allocation.
-func (l *Ledger) Remove(jobID string) { delete(l.alloc, jobID) }
+func (l *Ledger) Remove(jobID string) {
+	delete(l.alloc, jobID)
+	l.publish()
+}
 
 // Allocated reports the sum of all allocations.
 func (l *Ledger) Allocated() unit.Bandwidth {
@@ -169,6 +174,7 @@ type TokenBucket struct {
 	tokens float64
 	last   time.Time
 	clock  func() time.Time
+	met    BucketMetrics
 }
 
 // NewTokenBucket returns a bucket refilling at rate bytes/sec with the
@@ -223,9 +229,11 @@ func (b *TokenBucket) Reserve(n unit.Bytes) time.Duration {
 	defer b.mu.Unlock()
 	b.refillLocked()
 	b.tokens -= float64(n)
+	b.met.Egress.Add(int64(n))
 	if b.tokens >= 0 {
 		return 0
 	}
+	b.met.Throttles.Inc()
 	if b.rate <= 0 {
 		// No refill: effectively blocked forever; return a large wait so
 		// callers can time out meaningfully.

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// FromSnapshot renders a metrics snapshot as a table: one row per
+// counter/gauge series, and _count/_sum rows per histogram series. Rows
+// come out in snapshot order (metric name, then label fingerprint), so
+// the same run always renders the same table — the bridge between the
+// metrics subsystem and the report surface the CLIs print.
+func FromSnapshot(s metrics.Snapshot) *Table {
+	title := "metrics"
+	if s.Registry != "" {
+		title = "metrics: " + s.Registry
+	}
+	t := NewTable(title, "Metric", "Labels", "Value")
+	for _, m := range s.Metrics {
+		lbl := labelString(m.Labels)
+		if m.Type == "histogram" {
+			t.AddRow(m.Name+"_count", lbl, fmt.Sprintf("%d", m.Count))
+			t.AddRow(m.Name+"_sum", lbl, formatValue(m.Sum))
+			continue
+		}
+		var v float64
+		if m.Value != nil {
+			v = *m.Value
+		}
+		t.AddRow(m.Name, lbl, formatValue(v))
+	}
+	return t
+}
+
+// labelString renders labels as "k1=v1,k2=v2" with sorted keys.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// formatValue prints metric values without float noise: integers stay
+// integral, everything else uses shortest-round-trip notation.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

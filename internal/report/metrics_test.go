@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestFromSnapshot builds a small registry and checks the rendered
+// bridge table: one row per scalar series, _count/_sum per histogram,
+// sorted labels, integral values printed without decimals.
+func TestFromSnapshot(t *testing.T) {
+	r := metrics.NewRegistry("bridge")
+	r.Counter("silod_cache_hits_total", metrics.L("policy", "uniform")).Add(7)
+	r.Gauge("silod_sim_remoteio_utilization_ratio").Set(0.75)
+	h := r.Histogram("silod_sim_jct_minutes", metrics.ExpBuckets(1, 2, 4))
+	h.Observe(3)
+	h.Observe(5)
+
+	tbl := FromSnapshot(r.Snapshot())
+	if tbl.NumRows() != 4 { // counter + gauge + histogram count/sum
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{
+		"metrics: bridge",
+		"silod_cache_hits_total",
+		"policy=uniform",
+		"silod_sim_jct_minutes_count",
+		"silod_sim_jct_minutes_sum",
+		"0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Counter value renders integral, no float noise.
+	if !strings.Contains(out, " 7") || strings.Contains(out, "7.00") {
+		t.Errorf("counter should render as integer:\n%s", out)
+	}
+}
+
+// TestFromSnapshotEmpty: a zero snapshot renders a headers-only table.
+func TestFromSnapshotEmpty(t *testing.T) {
+	tbl := FromSnapshot(metrics.Snapshot{})
+	if tbl.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", tbl.NumRows())
+	}
+	if !strings.Contains(tbl.String(), "metrics") {
+		t.Errorf("title missing:\n%s", tbl.String())
+	}
+}

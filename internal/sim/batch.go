@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eventq"
+	"repro/internal/metrics"
 	"repro/internal/remoteio"
 	"repro/internal/simrng"
 	"repro/internal/stats"
@@ -43,6 +44,7 @@ type batchJob struct {
 	computing    bool
 
 	issued int64 // blocks issued to the loader so far
+	epochs int   // passes started, for timeline epoch events
 }
 
 // prefetchDepth is the loader's prefetch queue in blocks. DL data
@@ -64,6 +66,7 @@ type batchSim struct {
 
 	res        *Result
 	series     map[string]*stats.Series
+	met        *simMetrics
 	finished   int
 	lastFinish unit.Time
 
@@ -90,10 +93,18 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 			"cache_effective": {Name: "cache_effective"},
 		},
 	}
+	s.met = newSimMetrics(cfg)
+	// The batch engine drives the real pools, so block-level hit/miss/
+	// eviction counters come straight from the cache package.
+	pm := cache.NewPoolMetrics(cfg.Metrics, cfg.System.String())
 	if cfg.System.UsesLRU() {
-		s.pool = cache.NewLRUPool(cfg.Cluster.Cache)
+		lp := cache.NewLRUPool(cfg.Cluster.Cache)
+		lp.SetMetrics(pm)
+		s.pool = lp
 	} else {
-		s.pool = cache.NewQuotaPool(cfg.Cluster.Cache, s.rng.Split("evict"))
+		qp := cache.NewQuotaPool(cfg.Cluster.Cache, s.rng.Split("evict"))
+		qp.SetMetrics(pm)
+		s.pool = qp
 	}
 	ordered := append([]workload.JobSpec(nil), specs...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -137,6 +148,7 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		submit := float64(spec.Submit)
 		s.q.Schedule(submit, func() { s.reschedule() })
 	}
+	s.met.submitAll(s.jobs)
 	s.res = &Result{Timelines: s.series}
 	// Periodic rescheduling ticks are (re)armed by reschedule itself.
 	total := len(s.jobs)
@@ -230,10 +242,14 @@ func (s *batchSim) reschedule() {
 	// pipeline: a newly kicked job issues its first block access
 	// immediately, and with quotas still unset that block would be
 	// rejected from the cache and paid for again next epoch.
+	s.met.reschedules.Inc()
 	if qp, ok := s.pool.(*cache.QuotaPool); ok {
 		mentioned := make(map[string]bool, len(a.CacheQuota))
 		for key, q := range a.CacheQuota {
 			mentioned[key] = true
+			if q != qp.Quota(key) {
+				s.met.tl.RecordAt(s.q.Now(), metrics.EventCacheAlloc, key, float64(q), "quota_bytes")
+			}
 			if err := qp.SetQuota(key, q); err != nil {
 				panic(fmt.Sprintf("sim(batch): %v", err))
 			}
@@ -247,13 +263,18 @@ func (s *batchSim) reschedule() {
 		}
 	}
 	for _, j := range act {
-		j.remoteIO = a.RemoteIO[j.spec.ID]
+		bw := a.RemoteIO[j.spec.ID]
+		if bw != j.remoteIO {
+			s.met.tl.RecordAt(s.q.Now(), metrics.EventIOAlloc, j.spec.ID, float64(bw), "bytes_per_sec")
+		}
+		j.remoteIO = bw
 	}
 	for _, j := range act {
 		g := a.GPUs[j.spec.ID]
 		wasRunning := j.running
 		j.gpus = g
 		j.running = g > 0
+		s.met.transition(now, j, wasRunning)
 		if j.running && !j.started {
 			j.started = true
 			j.start = now
@@ -446,6 +467,9 @@ func (s *batchSim) fillLoader(bj *batchJob) {
 		blk, newEpoch := bj.stream.Next()
 		if newEpoch {
 			bj.effBytes = s.pool.CachedBytes(bj.rt.dsKey)
+			bj.epochs++
+			s.met.tl.RecordAt(s.q.Now(), metrics.EventEpoch, bj.rt.spec.ID,
+				float64(bj.epochs), "epochs_started")
 		}
 		bj.issued++
 		out, err := s.pool.Access(bj.rt.dsKey, cache.BlockID(blk))
@@ -454,9 +478,11 @@ func (s *batchSim) fillLoader(bj *batchJob) {
 		}
 		if out.Hit {
 			bj.prefetch++
+			s.met.hitBytes.Add(int64(s.cfg.BlockSize))
 			continue
 		}
 		// Remote fetch.
+		s.met.missBytes.Add(int64(s.cfg.BlockSize))
 		bj.fetchLeft = s.cfg.BlockSize
 		s.scheduleFetchCompletion(bj)
 	}
@@ -505,9 +531,9 @@ func (s *batchSim) computeDone(bj *batchJob) {
 		if now > s.lastFinish {
 			s.lastFinish = now
 		}
-		s.res.Jobs = append(s.res.Jobs, JobStat{
-			ID: bj.rt.spec.ID, Submit: bj.rt.spec.Submit, Start: bj.rt.start, Finish: now,
-		})
+		st := JobStat{ID: bj.rt.spec.ID, Submit: bj.rt.spec.Submit, Start: bj.rt.start, Finish: now}
+		s.res.Jobs = append(s.res.Jobs, st)
+		s.met.jobDone(now, st)
 		if bj.fetchEvent != nil {
 			s.q.Cancel(bj.fetchEvent)
 			bj.fetchEvent = nil
@@ -559,6 +585,7 @@ func (s *batchSim) sample(force bool) {
 	s.series["throughput"].Append(t, tput)
 	s.series["ideal"].Append(t, ideal)
 	s.series["remoteio"].Append(t, rio)
+	s.met.utilization(running, rio, s.cfg.Cluster.RemoteIO)
 	s.series["fairness"].Append(t, fairnessRatio(s.cfg.Cluster, running, func(j *jobRT) unit.Bandwidth {
 		// Instantaneous estimate from pool state and current rate.
 		h := s.observedHit(j)

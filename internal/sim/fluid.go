@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/remoteio"
 	"repro/internal/stats"
 	"repro/internal/unit"
@@ -37,6 +38,7 @@ type fluidSim struct {
 
 	series map[string]*stats.Series
 	events int
+	met    *simMetrics
 
 	// placement tracks gangs on physical servers when configured.
 	placement *cluster.Cluster
@@ -78,6 +80,8 @@ func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		s.jobs = append(s.jobs, j)
 		s.byID[spec.ID] = j
 	}
+	s.met = newSimMetrics(cfg)
+	s.met.submitAll(s.jobs)
 	s.res = &Result{Timelines: s.series}
 	if cfg.Servers > 0 {
 		pl, err := cluster.New(cfg.Servers, cfg.GPUsPerServer, unit.Bytes(float64(cfg.Cluster.Cache)/float64(cfg.Servers)))
@@ -139,12 +143,14 @@ func (s *fluidSim) reschedule() error {
 		return fmt.Errorf("sim: at t=%v policy %s produced invalid assignment: %w",
 			s.now, s.cfg.Policy.Name(), err)
 	}
+	s.met.reschedules.Inc()
 	// GPUs: grant/revoke.
 	for _, j := range act {
 		g := a.GPUs[j.spec.ID]
 		wasRunning := j.running
 		j.gpus = g
 		j.running = g > 0
+		s.met.transition(s.now, j, wasRunning)
 		if j.running && !j.started {
 			j.started = true
 			j.start = s.now
@@ -185,7 +191,11 @@ func (s *fluidSim) reschedule() error {
 	}
 	// Remote IO allocations.
 	for _, j := range act {
-		j.remoteIO = a.RemoteIO[j.spec.ID]
+		bw := a.RemoteIO[j.spec.ID]
+		if bw != j.remoteIO {
+			s.met.tl.RecordAt(float64(s.now), metrics.EventIOAlloc, j.spec.ID, float64(bw), "bytes_per_sec")
+		}
+		j.remoteIO = bw
 	}
 	return nil
 }
@@ -205,6 +215,9 @@ func (s *fluidSim) applyQuota(key string, q unit.Bytes) {
 		if d == nil {
 			return
 		}
+	}
+	if q != d.quota {
+		s.met.tl.RecordAt(float64(s.now), metrics.EventCacheAlloc, key, float64(q), "quota_bytes")
 	}
 	d.quota = q
 	if d.cached > q {
@@ -383,6 +396,7 @@ func (s *fluidSim) sample(running []*jobRT, hits []float64, rates, grants []unit
 	s.series["throughput"].Append(t, tput)
 	s.series["ideal"].Append(t, ideal)
 	s.series["remoteio"].Append(t, rio)
+	s.met.utilization(running, rio, s.cfg.Cluster.RemoteIO)
 	// The fairness objective (Eq. 8) is evaluated on realized
 	// throughput: the performance jobs actually experience under the
 	// current allocation, warm-up effects included — plans that flatter
@@ -528,6 +542,9 @@ func (s *fluidSim) loop() error {
 				j.remaining -= adv
 				j.attained += adv
 				j.epochLeft -= adv
+				hitB := float64(adv) * hits[i]
+				s.met.hitBytes.Add(int64(hitB))
+				s.met.missBytes.Add(int64(float64(adv) - hitB))
 				if !s.cfg.System.UsesLRU() {
 					// Misses admitted this step fill the cache toward
 					// the quota continuously (effectiveness still waits
@@ -548,9 +565,9 @@ func (s *fluidSim) loop() error {
 					if s.now > lastFinish {
 						lastFinish = s.now
 					}
-					s.res.Jobs = append(s.res.Jobs, JobStat{
-						ID: j.spec.ID, Submit: j.spec.Submit, Start: j.start, Finish: j.finish,
-					})
+					st := JobStat{ID: j.spec.ID, Submit: j.spec.Submit, Start: j.start, Finish: j.finish}
+					s.res.Jobs = append(s.res.Jobs, st)
+					s.met.jobDone(s.now, st)
 					if s.placement != nil {
 						s.placement.Release(j.spec.ID)
 					}
@@ -563,6 +580,8 @@ func (s *fluidSim) loop() error {
 					// quota, and everything cached is now effective.
 					s.events++
 					s.epochIdx[j.spec.ID]++
+					s.met.tl.RecordAt(float64(s.now), metrics.EventEpoch, j.spec.ID,
+						float64(s.epochIdx[j.spec.ID]), "epochs_completed")
 					if !s.cfg.System.UsesLRU() {
 						d := s.ds(j)
 						fill := minBytes(d.quota, j.spec.Dataset.Size)

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/unit"
+)
+
+// jctBuckets spans 1 minute to ~5.7 simulated days in powers of two —
+// wide enough for the paper's Philly-derived traces.
+var jctBuckets = metrics.ExpBuckets(1, 2, 14)
+
+// simMetrics bundles the instrumentation handles shared by both
+// engines. Every handle no-ops when Config.Metrics / Config.Timeline
+// are nil, so engine code updates them unconditionally.
+type simMetrics struct {
+	tl *metrics.Timeline
+
+	hitBytes    *metrics.Counter // silod_sim_cache_hit_bytes_total
+	missBytes   *metrics.Counter // silod_sim_cache_miss_bytes_total
+	reschedules *metrics.Counter // silod_sim_reschedules_total
+	completions *metrics.Counter // silod_sim_job_completions_total
+	preemptions *metrics.Counter // silod_sim_preemptions_total
+	gpusBusy    *metrics.Gauge   // silod_sim_gpus_busy
+	runningJobs *metrics.Gauge   // silod_sim_running_jobs
+	remoteMBps  *metrics.Gauge   // silod_sim_remoteio_mbps
+	remoteUtil  *metrics.Gauge   // silod_sim_remoteio_utilization_ratio
+	jct         *metrics.Histogram // silod_sim_jct_minutes
+}
+
+// newSimMetrics interns the engine metric handles. cfg.Metrics may be
+// nil (all handles nil, all updates free).
+func newSimMetrics(cfg Config) *simMetrics {
+	r := cfg.Metrics
+	return &simMetrics{
+		tl:          cfg.Timeline,
+		hitBytes:    r.Counter("silod_sim_cache_hit_bytes_total"),
+		missBytes:   r.Counter("silod_sim_cache_miss_bytes_total"),
+		reschedules: r.Counter("silod_sim_reschedules_total"),
+		completions: r.Counter("silod_sim_job_completions_total"),
+		preemptions: r.Counter("silod_sim_preemptions_total"),
+		gpusBusy:    r.Gauge("silod_sim_gpus_busy"),
+		runningJobs: r.Gauge("silod_sim_running_jobs"),
+		remoteMBps:  r.Gauge("silod_sim_remoteio_mbps"),
+		remoteUtil:  r.Gauge("silod_sim_remoteio_utilization_ratio"),
+		jct:         r.Histogram("silod_sim_jct_minutes", jctBuckets),
+	}
+}
+
+// submitAll records a submit event per job at its arrival time.
+func (m *simMetrics) submitAll(jobs []*jobRT) {
+	for _, j := range jobs {
+		m.tl.RecordAt(float64(j.spec.Submit), metrics.EventSubmit, j.spec.ID,
+			float64(j.spec.NumGPUs), "gpus_requested")
+	}
+}
+
+// transition records a job gaining or losing GPUs at a decision point.
+func (m *simMetrics) transition(now unit.Time, j *jobRT, wasRunning bool) {
+	if j.running && !wasRunning {
+		m.tl.RecordAt(float64(now), metrics.EventSchedule, j.spec.ID, float64(j.gpus), "gpus")
+	}
+	if !j.running && wasRunning && !j.done {
+		m.preemptions.Inc()
+		m.tl.RecordAt(float64(now), metrics.EventPreempt, j.spec.ID, 0, "")
+	}
+}
+
+// jobDone records a completion: counter, JCT histogram, timeline event.
+func (m *simMetrics) jobDone(now unit.Time, st JobStat) {
+	m.completions.Inc()
+	m.jct.Observe(st.JCT().Minutes())
+	m.tl.RecordAt(float64(now), metrics.EventComplete, st.ID, float64(st.JCT()), "jct_seconds")
+}
+
+// utilization refreshes the point-in-time gauges. remoteMBps is the
+// current remote IO draw; cap the cluster egress capacity.
+func (m *simMetrics) utilization(running []*jobRT, remoteMBps float64, capacity unit.Bandwidth) {
+	var gpus int
+	for _, j := range running {
+		gpus += j.gpus
+	}
+	m.gpusBusy.Set(float64(gpus))
+	m.runningJobs.Set(float64(len(running)))
+	m.remoteMBps.Set(remoteMBps)
+	if c := capacity.MBpsValue(); c > 0 {
+		m.remoteUtil.Set(remoteMBps / c)
+	}
+}

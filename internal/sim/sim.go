@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/unit"
@@ -93,6 +94,15 @@ type Config struct {
 	// must equal Cluster.GPUs.
 	Servers       int
 	GPUsPerServer int
+	// Metrics, when non-nil, receives run-wide counters, gauges and
+	// histograms (cache hit/miss bytes, reschedules, JCT distribution —
+	// see docs/observability.md). Nil disables instrumentation at zero
+	// cost.
+	Metrics *metrics.Registry
+	// Timeline, when non-nil, records per-job lifecycle events (submit,
+	// schedule, preempt, cache_alloc, io_alloc, epoch, complete) stamped
+	// with simulated time.
+	Timeline *metrics.Timeline
 }
 
 func (c *Config) withDefaults() Config {

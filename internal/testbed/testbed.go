@@ -22,6 +22,7 @@ import (
 	"repro/internal/datamgr"
 	"repro/internal/dataset"
 	"repro/internal/estimator"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/remoteio"
 	"repro/internal/simrng"
@@ -46,6 +47,12 @@ type Config struct {
 	Seed            int64
 	// MaxWall bounds the wall-clock duration of the run.
 	MaxWall time.Duration
+	// Metrics, when non-nil, instruments the run: the data manager's
+	// cache/remote-IO counters plus testbed round and JCT metrics.
+	Metrics *metrics.Registry
+	// Timeline, when non-nil, records per-job events stamped with
+	// simulated (scaled) time, comparable to simulator timelines.
+	Timeline *metrics.Timeline
 }
 
 // JobResult is one job's outcome in simulated time.
@@ -114,6 +121,7 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 
 	mgr := datamgr.New(cfg.Cluster.Cache, unit.Bandwidth(float64(cfg.Cluster.RemoteIO)*cfg.TimeScale), cfg.Seed, nil)
+	mgr.EnableMetrics(cfg.Metrics)
 	rng := simrng.New(cfg.Seed)
 	jobs := make([]*jobRun, 0, len(specs))
 	for _, spec := range specs {
@@ -156,7 +164,10 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	var wg sync.WaitGroup
 
 	// Scheduler goroutine: periodic allocation rounds.
-	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start}
+	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start, met: newBedMetrics(cfg)}
+	for _, j := range jobs { // all testbed jobs submit at t=0
+		tb.met.tl.RecordAt(0, metrics.EventSubmit, j.spec.ID, float64(j.spec.NumGPUs), "gpus_requested")
+	}
 	tb.round() // initial allocation before jobs start
 	wg.Add(1)
 	go func() {
@@ -227,6 +238,26 @@ type bed struct {
 	mgr   *datamgr.Manager
 	jobs  []*jobRun
 	start time.Time
+	met   bedMetrics
+}
+
+// bedMetrics is the testbed's own instrumentation (the data manager
+// carries the cache and remote-IO metrics). Zero value no-ops.
+type bedMetrics struct {
+	tl          *metrics.Timeline
+	rounds      *metrics.Counter   // silod_testbed_rounds_total
+	completions *metrics.Counter   // silod_testbed_job_completions_total
+	jct         *metrics.Histogram // silod_testbed_jct_minutes
+}
+
+func newBedMetrics(cfg Config) bedMetrics {
+	r := cfg.Metrics // nil-safe
+	return bedMetrics{
+		tl:          cfg.Timeline,
+		rounds:      r.Counter("silod_testbed_rounds_total"),
+		completions: r.Counter("silod_testbed_job_completions_total"),
+		jct:         r.Histogram("silod_testbed_jct_minutes", metrics.ExpBuckets(1, 2, 14)),
+	}
 }
 
 // views builds the policy's job views from live counters.
@@ -285,6 +316,7 @@ func (b *bed) round() {
 	if len(views) == 0 {
 		return
 	}
+	b.met.rounds.Inc()
 	a := b.cfg.Policy.Assign(b.cfg.Cluster, now, views)
 	// Cache quotas.
 	mentioned := make(map[string]bool)
@@ -357,6 +389,8 @@ func (b *bed) round() {
 		if !j.finished && !j.running && a.GPUs[j.spec.ID] > 0 {
 			j.running = true
 			j.startAt = time.Now()
+			b.met.tl.RecordAt(float64(now), metrics.EventSchedule, j.spec.ID,
+				float64(a.GPUs[j.spec.ID]), "gpus")
 		}
 		j.mu.Unlock()
 	}
@@ -434,7 +468,12 @@ func (b *bed) runJob(j *jobRun, stop <-chan struct{}) {
 	j.finished = true
 	j.running = false
 	j.finishAt = time.Now()
+	finish := j.finishAt
 	j.mu.Unlock()
+	simFinish := finish.Sub(b.start).Seconds() * b.cfg.TimeScale
+	b.met.completions.Inc()
+	b.met.jct.Observe(unit.Duration(simFinish).Minutes())
+	b.met.tl.RecordAt(simFinish, metrics.EventComplete, j.spec.ID, simFinish, "jct_seconds")
 	b.mgr.DetachJob(j.spec.ID)
 	wg.Wait()
 }
