@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench baseline clean
+.PHONY: build test vet lint race verify bench baseline clean
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs silodlint, the project's own static-analysis suite
+# (determinism, unit-safety, metric-naming invariants); exits non-zero
+# on any finding not covered by lint.allow. See docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/silodlint -root .
+
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: compile everything, vet, full suite
-# under the race detector.
-verify: build vet race
+# verify is the pre-merge gate: compile everything, vet, lint, full
+# suite under the race detector.
+verify: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -3,6 +3,7 @@ package main
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
@@ -23,7 +24,7 @@ func stack(t *testing.T) (schedURL, dmURL string) {
 	}
 	sched, err := controlplane.NewSchedulerServer(
 		core.Cluster{GPUs: 8, Cache: unit.TiB(1), RemoteIO: unit.MBpsOf(500)},
-		pol, controlplane.NewClient(dmSrv.URL))
+		pol, controlplane.NewClient(dmSrv.URL), time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

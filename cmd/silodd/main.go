@@ -14,7 +14,7 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"strings"
+	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
@@ -50,7 +50,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	remoteBytes, err := unit.ParseBytes(strings.TrimSuffix(*remoteStr, "/s"))
+	remoteBW, err := unit.ParseBandwidth(*remoteStr)
 	if err != nil {
 		return err
 	}
@@ -67,11 +67,11 @@ func run(args []string) error {
 		return err
 	}
 
-	mgr := datamgr.New(cacheBytes, unit.Bandwidth(remoteBytes), *seed, nil)
+	mgr := datamgr.New(cacheBytes, remoteBW, *seed, nil)
 	mgr.EnableMetrics(metrics.NewRegistry("datamgr"))
 	dmSrv := controlplane.NewDataManagerServer(mgr)
-	cluster := core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)}
-	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr})
+	cluster := core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: remoteBW}
+	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr}, time.Now)
 	if err != nil {
 		return err
 	}

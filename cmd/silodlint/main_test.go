@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const badmod = "testdata/badmod"
+
+// runLint invokes the CLI entry point and captures both streams.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestBadModuleFindings lints the known-bad fixture module and pins
+// the exit code and the diagnostic line format.
+func TestBadModuleFindings(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-root", badmod)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, re := range []string{
+		`(?m)^internal/sim/sim\.go:\d+:\d+: wallclock: .*time\.Now`,
+		`(?m)^internal/sim/sim\.go:\d+:\d+: rngpurity: .*math/rand`,
+	} {
+		if !regexp.MustCompile(re).MatchString(stdout) {
+			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr missing finding count, got:\n%s", stderr)
+	}
+}
+
+// TestAllowlistSilences covers the escape hatch: an allow rule for the
+// bad file turns the run clean, and a rule that matches nothing is
+// reported stale.
+func TestAllowlistSilences(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "lint.allow")
+	content := "# test exceptions\n" +
+		"* internal/sim/sim.go\n" +
+		"floatcmp internal/sim/never.go\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runLint(t, "-root", badmod, "-allow", allow)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("allowlisted run should print nothing to stdout, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "stale allow rule") || !strings.Contains(stderr, "internal/sim/never.go") {
+		t.Errorf("stderr missing stale-rule report, got:\n%s", stderr)
+	}
+}
+
+// TestDisableFlag turns off both triggered analyzers and expects a
+// clean exit.
+func TestDisableFlag(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-root", badmod, "-disable", "wallclock,rngpurity")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if code, _, stderr = runLint(t, "-root", badmod, "-disable", "nosuch"); code != 2 {
+		t.Fatalf("unknown analyzer: exit code = %d, want 2\nstderr:\n%s", code, stderr)
+	} else if !strings.Contains(stderr, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr missing unknown-analyzer message, got:\n%s", stderr)
+	}
+}
+
+// TestListFlag prints the analyzer roster without loading anything.
+func TestListFlag(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"wallclock", "rngpurity", "unitsafety", "metricnames", "floatcmp"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestBadRoot exits 2 when the root is not a module.
+func TestBadRoot(t *testing.T) {
+	code, _, stderr := runLint(t, "-root", t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -269,7 +268,7 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 	if err != nil {
 		return err
 	}
-	remoteBytes, err := unit.ParseBytes(strings.TrimSuffix(remoteStr, "/s"))
+	remoteBW, err := unit.ParseBandwidth(remoteStr)
 	if err != nil {
 		return err
 	}
@@ -288,7 +287,7 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 		tl = metrics.NewTimeline(0)
 	}
 	res, err := sim.Run(sim.Config{
-		Cluster:  core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: unit.Bandwidth(remoteBytes)},
+		Cluster:  core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: remoteBW},
 		Policy:   pol,
 		System:   cs,
 		Engine:   eng,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
@@ -34,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cluster := core.Cluster{GPUs: 8, Cache: unit.TiB(1), RemoteIO: unit.MBpsOf(200)}
-	sched, err := controlplane.NewSchedulerServer(cluster, pol, dm)
+	sched, err := controlplane.NewSchedulerServer(cluster, pol, dm, time.Now)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,7 @@ func newStack(t *testing.T, pol core.Policy) (*Client, *Client, *SchedulerServer
 	mgr := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 1, nil)
 	dmSrv := httptest.NewServer(NewDataManagerServer(mgr))
 	dmClient := NewClient(dmSrv.URL)
-	sched, err := NewSchedulerServer(core.Cluster{GPUs: 8, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)}, pol, dmClient)
+	sched, err := NewSchedulerServer(core.Cluster{GPUs: 8, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)}, pol, dmClient, time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestRunLoopSchedulesPeriodically(t *testing.T) {
 	}
 	mgr := datamgr.New(unit.GiB(100), unit.MBpsOf(100), 1, nil)
 	sched, err := NewSchedulerServer(core.Cluster{GPUs: 4, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)},
-		pol, LocalDataPlane{Mgr: mgr})
+		pol, LocalDataPlane{Mgr: mgr}, time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestScheduleSurfacesDataPlaneFailure(t *testing.T) {
 	// Point the scheduler at a dead data manager.
 	dead := NewClient("http://127.0.0.1:1") // nothing listens here
 	sched, err := NewSchedulerServer(core.Cluster{GPUs: 4, Cache: unit.GiB(100), RemoteIO: unit.MBpsOf(100)},
-		pol, dead)
+		pol, dead, time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,27 +47,35 @@ type SchedulerServer struct {
 	policy   core.Policy
 	dp       DataPlane
 	jobs     map[string]*schedJob
-	epoch    time.Time // scheduler start, for Submit timestamps
+	clock    func() time.Time // injected; never the package-level time.Now
+	epoch    time.Time        // scheduler start, for Submit timestamps
 	mux      *http.ServeMux
 	registry *metrics.Registry
 	met      schedMetrics
 }
 
 // NewSchedulerServer builds a scheduler for the cluster driving dp with
-// the given policy.
-func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane) (*SchedulerServer, error) {
+// the given policy. The clock is injected: pass time.Now at the daemon
+// edge (cmd/silodd), a virtual clock everywhere a simulator or test
+// drives the scheduler — this package must stay bit-deterministic
+// under simulation, so it never reads the wall clock itself.
+func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clock func() time.Time) (*SchedulerServer, error) {
 	if err := cluster.Validate(); err != nil {
 		return nil, err
 	}
 	if pol == nil || dp == nil {
 		return nil, fmt.Errorf("controlplane: scheduler needs a policy and a data plane")
 	}
+	if clock == nil {
+		return nil, fmt.Errorf("controlplane: scheduler needs a clock (pass time.Now at the daemon edge)")
+	}
 	s := &SchedulerServer{
 		cluster:  cluster,
 		policy:   pol,
 		dp:       dp,
 		jobs:     make(map[string]*schedJob),
-		epoch:    time.Now(),
+		clock:    clock,
+		epoch:    clock(),
 		mux:      http.NewServeMux(),
 		registry: metrics.NewRegistry("scheduler"),
 	}
@@ -106,7 +114,7 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 		s.mu.Unlock()
 		return fmt.Errorf("controlplane: job %s already submitted", req.JobID)
 	}
-	s.jobs[req.JobID] = &schedJob{req: req, submitted: time.Now()}
+	s.jobs[req.JobID] = &schedJob{req: req, submitted: s.clock()}
 	s.mu.Unlock()
 	s.met.submitted.Inc()
 	if err := s.dp.RegisterDataset(req.Dataset, req.DatasetSize, 0); err != nil {
@@ -165,7 +173,7 @@ func (s *SchedulerServer) Schedule() error {
 		})
 	}
 	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
-	now := unit.Time(time.Since(s.epoch).Seconds())
+	now := unit.Time(s.clock().Sub(s.epoch).Seconds())
 	a := s.policy.Assign(s.cluster, now, views)
 	if err := a.Validate(s.cluster, views); err != nil {
 		s.mu.Unlock()

@@ -82,7 +82,7 @@ func (m *Manager) RegisterDataset(name string, size, blockSize unit.Bytes) error
 	if blockSize <= 0 || size <= 0 {
 		return fmt.Errorf("datamgr: bad dataset %q geometry (%v / %v)", name, size, blockSize)
 	}
-	n := int((size + blockSize - 1) / blockSize)
+	n := unit.CeilDiv(size, blockSize)
 	if err := m.pool.Register(name, n, blockSize); err != nil {
 		return err
 	}

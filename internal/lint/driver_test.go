@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoLintClean is the self-hosting gate: the repository itself
+// must produce zero findings beyond the audited lint.allow exceptions,
+// and every exception must still be earning its keep.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := filepath.Join("..", "..")
+	allow, err := ParseAllowFile(filepath.Join(root, "lint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if !allow.Allows(d) {
+			t.Errorf("unallowlisted finding: %s", d)
+		}
+	}
+	for _, r := range allow.Unused() {
+		t.Errorf("stale allow rule (matched nothing): %s: %s %s", r.Source, r.Analyzer, r.Path)
+	}
+}
+
+// TestRunDisable pins the -disable plumbing: disabling an analyzer
+// suppresses its diagnostics at the driver level.
+func TestRunDisable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := filepath.Join("..", "..")
+	res, err := Run(root, Options{Disable: map[string]bool{"floatcmp": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "floatcmp" {
+			t.Errorf("disabled analyzer still reported: %s", d)
+		}
+	}
+}

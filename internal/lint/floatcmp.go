@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpPkgs are the numerical-core packages: the closed-form
+// estimator and both simulation engines integrate float quantities,
+// so exact equality is either vacuous (never true after accumulation)
+// or, worse, true on one architecture/ordering and false on another.
+var floatcmpPkgs = []string{
+	"internal/estimator",
+	"internal/sim",
+}
+
+// FloatCmp bans == and != on floating-point operands (including the
+// float64-underlying internal/unit types) in the estimator and
+// simulator packages. Use ordering comparisons, an epsilon, or
+// restructure around integer state.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "bans ==/!= on float operands in internal/{estimator,sim}: " +
+		"exact float equality is order- and platform-sensitive; compare " +
+		"with a tolerance or ordering instead",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if !pathEndsInAny(p.Path, floatcmpPkgs) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			xt := floatOperand(p, e.X)
+			yt := floatOperand(p, e.Y)
+			if xt == "" && yt == "" {
+				return true
+			}
+			t := xt
+			if t == "" {
+				t = yt
+			}
+			p.Reportf(e.OpPos, "float equality (%s on %s): exact comparison is order- and platform-sensitive; use ordering, an epsilon, or integer state", e.Op, t)
+			return true
+		})
+	}
+}
+
+// floatOperand returns a printable type name if e has a floating-point
+// (underlying) type, else "".
+func floatOperand(p *Pass, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	if b.Info()&types.IsFloat == 0 {
+		return ""
+	}
+	return tv.Type.String()
+}

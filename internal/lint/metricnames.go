@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricNames enforces docs/observability.md at every internal/metrics
+// call site: metric names are compile-time constants (a fmt.Sprintf-built
+// name means unbounded series cardinality — the registry interns every
+// name forever), lower snake_case, "silod_"-prefixed with a subsystem
+// segment, with counters ending in _total and gauges/histograms not.
+// Label keys passed to metrics.L must likewise be constant snake_case;
+// label *values* may vary (they are meant to, within a closed set).
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc: "metric/label names at internal/metrics call sites must be " +
+		"compile-time constants shaped silod_<subsystem>_<noun>[_total] " +
+		"— dynamic names explode series cardinality",
+	Run: runMetricNames,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^silod_[a-z0-9]+(_[a-z0-9]+)+$`)
+	labelKeyRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+func runMetricNames(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !pathEndsIn(fn.Pkg().Path(), "internal/metrics") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			switch {
+			case sig.Recv() != nil && recvIsRegistry(sig):
+				switch fn.Name() {
+				case "Counter", "Gauge", "Histogram":
+					checkMetricName(p, call.Args[0], fn.Name())
+				}
+			case sig.Recv() == nil && fn.Name() == "L":
+				checkLabelKey(p, call.Args[0])
+			}
+			return true
+		})
+	}
+}
+
+// recvIsRegistry reports whether the method receiver is (a pointer to)
+// the metrics Registry type.
+func recvIsRegistry(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// checkMetricName validates the name argument of Counter/Gauge/Histogram.
+func checkMetricName(p *Pass, arg ast.Expr, kind string) {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(), "metric name passed to Registry.%s must be a compile-time constant string: dynamic names (fmt.Sprintf, concatenated variables) create one interned series per distinct value, forever — put variance in label values instead", kind)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		p.Reportf(arg.Pos(), "metric name %q must be lower snake_case with a silod_<subsystem>_ prefix (see docs/observability.md)", name)
+		return
+	}
+	if strings.Count(name, "_") < 2 {
+		p.Reportf(arg.Pos(), "metric name %q is missing a subsystem segment: expected silod_<subsystem>_<noun>", name)
+		return
+	}
+	hasTotal := strings.HasSuffix(name, "_total")
+	if kind == "Counter" && !hasTotal {
+		p.Reportf(arg.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+	}
+	if kind != "Counter" && hasTotal {
+		p.Reportf(arg.Pos(), "%s %q must not end in _total: that suffix is reserved for counters", strings.ToLower(kind), name)
+	}
+}
+
+// checkLabelKey validates the key argument of metrics.L.
+func checkLabelKey(p *Pass, arg ast.Expr) {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(), "label key passed to metrics.L must be a compile-time constant string — dynamic keys fragment a family into incompatible series")
+		return
+	}
+	key := constant.StringVal(tv.Value)
+	if !labelKeyRE.MatchString(key) {
+		p.Reportf(arg.Pos(), "label key %q must be lower snake_case ([a-z][a-z0-9_]*)", key)
+	}
+}

@@ -1,0 +1,20 @@
+// Fixture for the floatcmp analyzer: ==/!= on float operands
+// (including the float64-underlying unit types) are violations;
+// ordering comparisons and integer equality are accepted.
+package floatcmp
+
+import "repro/internal/unit"
+
+// Compare exercises the equality ban.
+func Compare(a, b float64, q unit.Bytes, n int) bool {
+	if a == b { // want `float equality \(== on float64\)`
+		return true
+	}
+	if q != 0 { // want `float equality \(!= on repro/internal/unit\.Bytes\)`
+		return false
+	}
+	if a < b { // ok: ordering comparisons are well-defined
+		return true
+	}
+	return n == 3 // ok: integers compare exactly
+}

@@ -1,0 +1,28 @@
+// Fixture for the metricnames analyzer: dynamic names, missing or
+// misplaced _total suffixes, non-snake_case names and dynamic label
+// keys are violations; constant conforming names and dynamic label
+// values are accepted.
+package metricnames
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Register exercises the docs/observability.md naming rules.
+func Register(r *metrics.Registry, job string) {
+	r.Counter("silod_fix_probes_total")           // ok
+	r.Gauge("silod_fix_queue_depth")              // ok
+	r.Histogram("silod_fix_latency_minutes", nil) // ok
+
+	r.Counter(fmt.Sprintf("silod_fix_%s_total", job)) // want `must be a compile-time constant`
+	r.Counter("silod_fix_probes")                     // want `must end in _total`
+	r.Gauge("silod_fix_bytes_total")                  // want `must not end in _total`
+	r.Counter("SilodFixProbesTotal")                  // want `lower snake_case`
+	r.Counter("probes_total")                         // want `silod_<subsystem>_ prefix`
+
+	_ = metrics.L("policy", job) // ok: label values may vary
+	_ = metrics.L(job, "x")      // want `label key .* must be a compile-time constant`
+	_ = metrics.L("Policy", "x") // want `label key "Policy" must be lower snake_case`
+}

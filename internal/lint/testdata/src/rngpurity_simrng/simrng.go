@@ -1,0 +1,9 @@
+// Fixture for rngpurity's exemption: loaded under a path ending in
+// internal/simrng, the math/rand import is the sanctioned wrapper and
+// produces no finding. (Loaded under any other path it would.)
+package simrng
+
+import "math/rand"
+
+// Intn draws from an explicitly seeded source.
+func Intn(r *rand.Rand, n int) int { return r.Intn(n) }

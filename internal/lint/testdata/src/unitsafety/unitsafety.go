@@ -1,0 +1,42 @@
+// Fixture for the unitsafety analyzer: additive arithmetic and
+// comparisons between unit quantities and raw numeric literals are
+// violations, as are direct cross-unit conversions; zero comparisons,
+// unit constants, dimensionless scaling, float64 round-trips and the
+// sanctioned helpers are accepted.
+package unitsafety
+
+import "repro/internal/unit"
+
+// Thresholds mixes quantities with raw literals.
+func Thresholds(b unit.Bytes, bw unit.Bandwidth) unit.Bytes {
+	if b > 1048576 { // want `unit\.Bytes > raw numeric literal 1048576`
+		return b
+	}
+	sum := b + 64  // want `unit\.Bytes \+ raw numeric literal 64`
+	if bw >= 100 { // want `unit\.Bandwidth >= raw numeric literal 100`
+		return sum
+	}
+	return 0
+}
+
+// CastBandwidth reinterprets bytes as a rate without a helper.
+func CastBandwidth(b unit.Bytes) unit.Bandwidth {
+	return unit.Bandwidth(b) // want `direct conversion unit\.Bytes -> unit\.Bandwidth`
+}
+
+// CastDuration reinterprets a time point as a span without a helper.
+func CastDuration(t unit.Time) unit.Duration {
+	return unit.Duration(t) // want `direct conversion unit\.Time -> unit\.Duration`
+}
+
+// Accepted shows the idioms the analyzer must not flag.
+func Accepted(b unit.Bytes, bw unit.Bandwidth, t unit.Time) {
+	if b > 0 && b > 64*unit.MB { // ok: zero and unit-constant comparisons
+		_ = b * 2 // ok: dimensionless scaling
+		_ = b / 3
+	}
+	_ = unit.PerSecond(b)          // ok: sanctioned helper
+	_ = unit.Bandwidth(float64(b)) // ok: explicit float64 round-trip
+	_ = t.Elapsed()                // ok: sanctioned helper
+	_ = unit.DivBandwidth(b, bw)   // ok: dimensional helper
+}

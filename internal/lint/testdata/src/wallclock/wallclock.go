@@ -1,0 +1,26 @@
+// Fixture for the wallclock analyzer: bare wall-clock reads are
+// violations, the injected-clock idiom and the time package's types
+// and constants are accepted.
+package wallclock
+
+import "time"
+
+// Engine is driven by an injected clock, the accepted idiom.
+type Engine struct {
+	clock func() time.Time
+	now   time.Time
+}
+
+// Step mixes banned bare wall-clock reads with legal uses.
+func (e *Engine) Step() time.Duration {
+	e.now = time.Now()           // want `bare time\.Now`
+	time.Sleep(time.Millisecond) // want `bare time\.Sleep`
+	elapsed := time.Since(e.now) // want `bare time\.Since`
+	_ = time.Until(e.now)        // want `bare time\.Until`
+
+	e.now = e.clock() // ok: injected clock
+	var d time.Duration
+	d = 2 * time.Second // ok: types and constants carry no clock
+	_ = d
+	return elapsed
+}

@@ -108,8 +108,11 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	ordered := append([]workload.JobSpec(nil), specs...)
 	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].Submit != ordered[j].Submit {
-			return ordered[i].Submit < ordered[j].Submit
+		if ordered[i].Submit < ordered[j].Submit {
+			return true
+		}
+		if ordered[j].Submit < ordered[i].Submit {
+			return false
 		}
 		return ordered[i].ID < ordered[j].ID
 	})

@@ -24,6 +24,11 @@ type dsRT struct {
 }
 
 // fluidSim is the fluid engine state.
+// subByteResidue is the completion threshold for fluid integration:
+// float advance steps leave sub-byte residue on remaining/epochLeft,
+// which counts as finished rather than scheduling another step.
+const subByteResidue unit.Bytes = 0.5
+
 type fluidSim struct {
 	cfg      Config
 	jobs     []*jobRT
@@ -56,8 +61,11 @@ func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	ordered := append([]workload.JobSpec(nil), specs...)
 	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].Submit != ordered[j].Submit {
-			return ordered[i].Submit < ordered[j].Submit
+		if ordered[i].Submit < ordered[j].Submit {
+			return true
+		}
+		if ordered[j].Submit < ordered[i].Submit {
+			return false
 		}
 		return ordered[i].ID < ordered[j].ID
 	})
@@ -440,7 +448,7 @@ func (s *fluidSim) loop() error {
 	totalJobs := len(s.jobs)
 	finished := 0
 	for finished < totalJobs {
-		if unit.Duration(s.now) > s.cfg.MaxSimTime {
+		if s.now.Elapsed() > s.cfg.MaxSimTime {
 			return fmt.Errorf("sim: exceeded max simulated time %v with %d/%d jobs finished",
 				s.cfg.MaxSimTime, finished, totalJobs)
 		}
@@ -556,7 +564,7 @@ func (s *fluidSim) loop() error {
 						d.cached = minBytes(d.cached+fill, limit)
 					}
 				}
-				if j.remaining <= 0.5 { // sub-byte residue counts as done
+				if j.remaining <= subByteResidue {
 					j.remaining = 0
 					j.done = true
 					j.running = false
@@ -575,7 +583,7 @@ func (s *fluidSim) loop() error {
 					reschedNow = true
 					continue
 				}
-				if j.epochLeft <= 0.5 {
+				if j.epochLeft <= subByteResidue {
 					// Epoch boundary: the pass filled the cache up to
 					// quota, and everything cached is now effective.
 					s.events++

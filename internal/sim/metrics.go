@@ -15,15 +15,15 @@ var jctBuckets = metrics.ExpBuckets(1, 2, 14)
 type simMetrics struct {
 	tl *metrics.Timeline
 
-	hitBytes    *metrics.Counter // silod_sim_cache_hit_bytes_total
-	missBytes   *metrics.Counter // silod_sim_cache_miss_bytes_total
-	reschedules *metrics.Counter // silod_sim_reschedules_total
-	completions *metrics.Counter // silod_sim_job_completions_total
-	preemptions *metrics.Counter // silod_sim_preemptions_total
-	gpusBusy    *metrics.Gauge   // silod_sim_gpus_busy
-	runningJobs *metrics.Gauge   // silod_sim_running_jobs
-	remoteMBps  *metrics.Gauge   // silod_sim_remoteio_mbps
-	remoteUtil  *metrics.Gauge   // silod_sim_remoteio_utilization_ratio
+	hitBytes    *metrics.Counter   // silod_sim_cache_hit_bytes_total
+	missBytes   *metrics.Counter   // silod_sim_cache_miss_bytes_total
+	reschedules *metrics.Counter   // silod_sim_reschedules_total
+	completions *metrics.Counter   // silod_sim_job_completions_total
+	preemptions *metrics.Counter   // silod_sim_preemptions_total
+	gpusBusy    *metrics.Gauge     // silod_sim_gpus_busy
+	runningJobs *metrics.Gauge     // silod_sim_running_jobs
+	remoteMBps  *metrics.Gauge     // silod_sim_remoteio_mbps
+	remoteUtil  *metrics.Gauge     // silod_sim_remoteio_utilization_ratio
 	jct         *metrics.Histogram // silod_sim_jct_minutes
 }
 

@@ -223,7 +223,7 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	for _, j := range jobs {
 		simFinish := unit.Time(j.finishAt.Sub(start).Seconds() * cfg.TimeScale)
 		res.Jobs = append(res.Jobs, JobResult{ID: j.spec.ID, Start: 0, Finish: simFinish})
-		if d := unit.Duration(simFinish); d > makespan {
+		if d := simFinish.Elapsed(); d > makespan {
 			makespan = d
 		}
 	}

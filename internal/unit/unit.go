@@ -125,6 +125,21 @@ func (bw Bandwidth) String() string {
 // figures and by perf estimators.
 func (bw Bandwidth) MBpsValue() float64 { return float64(bw) / float64(MBps) }
 
+// PerSecond reinterprets a byte quantity as the rate that moves that
+// many bytes each second — the one sanctioned Bytes -> Bandwidth
+// conversion (silodlint's unitsafety analyzer rejects the bare cast).
+func PerSecond(b Bytes) Bandwidth { return Bandwidth(b) }
+
+// ParseBandwidth parses strings like "1GB/s", "400MB/s", or "200MB"
+// (a bare byte size is taken per second).
+func ParseBandwidth(s string) (Bandwidth, error) {
+	b, err := ParseBytes(strings.TrimSuffix(strings.TrimSpace(s), "/s"))
+	if err != nil {
+		return 0, err
+	}
+	return PerSecond(b), nil
+}
+
 // Time is a point in simulated time, in seconds since simulation start.
 type Time float64
 
@@ -162,6 +177,11 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Minutes reports the time in minutes since simulation start.
 func (t Time) Minutes() float64 { return float64(t) / float64(Minute) }
 
+// Elapsed reports t as the duration since simulation start — the one
+// sanctioned Time -> Duration conversion (silodlint's unitsafety
+// analyzer rejects the bare cast).
+func (t Time) Elapsed() Duration { return Duration(t) }
+
 // DivBandwidth reports how long transferring b bytes takes at rate bw.
 // It returns +Inf for a non-positive bandwidth and a positive size.
 func DivBandwidth(b Bytes, bw Bandwidth) Duration {
@@ -177,6 +197,24 @@ func DivBandwidth(b Bytes, bw Bandwidth) Duration {
 // MulDuration reports how many bytes flow at rate bw for duration d.
 func MulDuration(bw Bandwidth, d Duration) Bytes {
 	return Bytes(float64(bw) * float64(d))
+}
+
+// CeilDiv reports how many whole blocks of the given size cover b.
+// Non-positive block sizes yield 0.
+func CeilDiv(b, block Bytes) int {
+	if block <= 0 {
+		return 0
+	}
+	return int((b + block - 1) / block)
+}
+
+// AlignUp rounds b up to the next multiple of align (b unchanged if
+// align is non-positive).
+func AlignUp(b, align Bytes) Bytes {
+	if align <= 0 {
+		return b
+	}
+	return Bytes(CeilDiv(b, align)) * align
 }
 
 // ClampBytes bounds v to [lo, hi].
