@@ -5,17 +5,20 @@
 //
 // Usage:
 //
-//	silodlint [-root dir] [-allow file] [-disable a,b] [-list] [-v]
+//	silodlint [-root dir] [-allow file] [-disable a,b] [-list] [-json] [-v]
 //
 // Diagnostics print one per line as
 //
 //	path/to/file.go:line:col: analyzer: message
 //
 // with paths relative to the module root, the same shape lint.allow
-// rules match against. See docs/static-analysis.md.
+// rules match against. With -json each finding is instead one JSON
+// object per line ({"path","line","col","analyzer","message"}), for
+// editor and CI integrations. See docs/static-analysis.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +34,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the -json wire shape: one object per line, stable
+// field names for editor and CI consumers.
+type jsonDiagnostic struct {
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run executes the CLI; it returns the process exit code (0 clean,
 // 1 findings, 2 usage or load failure).
 func run(args []string, stdout, stderr io.Writer) int {
@@ -40,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	allowPath := fs.String("allow", "", "allowlist file (default: <root>/lint.allow if present)")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object per line")
 	verbose := fs.Bool("v", false, "print load/run statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.Packages, len(res.Diagnostics), time.Since(start).Round(time.Millisecond))
 	}
 
+	enc := json.NewEncoder(stdout)
 	var findings int
 	for _, d := range res.Diagnostics {
 		if allow.Allows(d) {
@@ -94,6 +109,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		findings++
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				Path:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "silodlint: %v\n", err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, d.String())
 	}
 	for _, r := range allow.Unused() {

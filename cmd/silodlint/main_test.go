@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -29,12 +30,16 @@ func TestBadModuleFindings(t *testing.T) {
 	for _, re := range []string{
 		`(?m)^internal/sim/sim\.go:\d+:\d+: wallclock: .*time\.Now`,
 		`(?m)^internal/sim/sim\.go:\d+:\d+: rngpurity: .*math/rand`,
+		`(?m)^internal/cache/cache\.go:\d+:\d+: lockcheck: read of c\.n without holding c\.mu`,
+		`(?m)^internal/cache/cache\.go:\d+:\d+: lockorder: lock order cycle: .*opposite order`,
+		`(?m)^internal/cache/cache\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
+		`(?m)^internal/cache/cache\.go:\d+:\d+: errflow: error value assigned to _`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "2 finding(s)") {
+	if !strings.Contains(stderr, "7 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -46,6 +51,7 @@ func TestAllowlistSilences(t *testing.T) {
 	allow := filepath.Join(t.TempDir(), "lint.allow")
 	content := "# test exceptions\n" +
 		"* internal/sim/sim.go\n" +
+		"* internal/cache/cache.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -62,10 +68,11 @@ func TestAllowlistSilences(t *testing.T) {
 	}
 }
 
-// TestDisableFlag turns off both triggered analyzers and expects a
+// TestDisableFlag turns off every triggered analyzer and expects a
 // clean exit.
 func TestDisableFlag(t *testing.T) {
-	code, stdout, stderr := runLint(t, "-root", badmod, "-disable", "wallclock,rngpurity")
+	code, stdout, stderr := runLint(t, "-root", badmod,
+		"-disable", "wallclock,rngpurity,lockcheck,lockorder,goleak,errflow")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
 	}
@@ -82,10 +89,48 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"wallclock", "rngpurity", "unitsafety", "metricnames", "floatcmp"} {
+	for _, name := range []string{
+		"wallclock", "rngpurity", "unitsafety", "metricnames", "floatcmp",
+		"lockcheck", "lockorder", "goleak", "errflow",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
 		}
+	}
+}
+
+// TestJSONOutput pins the -json wire shape: one object per line with
+// path/line/col/analyzer/message, the same findings as the text mode.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-root", badmod, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d JSON lines, want 7:\n%s", len(lines), stdout)
+	}
+	byAnalyzer := map[string]jsonDiagnostic{}
+	for _, line := range lines {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if d.Path == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		byAnalyzer[d.Analyzer] = d
+	}
+	for _, want := range []string{"wallclock", "rngpurity", "lockcheck", "lockorder", "goleak", "errflow"} {
+		if _, ok := byAnalyzer[want]; !ok {
+			t.Errorf("no %s finding in JSON output:\n%s", want, stdout)
+		}
+	}
+	if d := byAnalyzer["goleak"]; d.Path != "internal/cache/cache.go" {
+		t.Errorf("goleak path = %q, want internal/cache/cache.go", d.Path)
+	}
+	if strings.Contains(stdout, ": goleak: ") {
+		t.Errorf("-json output contains text-format diagnostics:\n%s", stdout)
 	}
 }
 

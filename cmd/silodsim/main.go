@@ -349,19 +349,22 @@ type dumpSummary struct {
 	MakespanMin float64 `json:"makespan_minutes"`
 }
 
-// writeMetricsDump writes the dump as indented JSON.
-func writeMetricsDump(path string, d metricsDump) error {
+// writeMetricsDump writes the dump as indented JSON. Close errors on
+// this write path are real data-loss signals, so the first of
+// encode/close error wins.
+func writeMetricsDump(path string, d metricsDump) (rerr error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+	}()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(d); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return enc.Encode(d)
 }
 
 // writeTimelineCSVs dumps every timeline series of a run as CSV files,
@@ -380,12 +383,12 @@ func writeTimelineCSVs(dir string, res *sim.Result) error {
 		if err != nil {
 			return err
 		}
-		if err := report.WriteSeriesCSV(f, res.Timelines[name]); err != nil {
-			f.Close()
-			return err
+		werr := report.WriteSeriesCSV(f, res.Timelines[name])
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if werr != nil {
+			return werr
 		}
 	}
 	return nil

@@ -25,7 +25,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (rerr error) {
 	fs := flag.NewFlagSet("silodtrace", flag.ContinueOnError)
 	jobs := fs.Int("jobs", 480, "number of jobs")
 	window := fs.Duration("window", 24*time.Hour, "arrival window")
@@ -57,7 +57,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Close errors on a write path can mean lost trace data.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && rerr == nil {
+				rerr = cerr
+			}
+		}()
 		w = f
 	}
 	if err := workload.WriteTrace(w, trace); err != nil {

@@ -36,4 +36,8 @@ func (p *LRUPool) SetMetrics(m PoolMetrics) { p.met = m }
 
 // SetMetrics attaches instrumentation to the pool. Pass the zero value
 // to detach.
-func (p *QuotaPool) SetMetrics(m PoolMetrics) { p.met = m }
+func (p *QuotaPool) SetMetrics(m PoolMetrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = m
+}

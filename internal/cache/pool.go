@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/simrng"
 	"repro/internal/unit"
@@ -58,14 +59,18 @@ type keyState struct {
 // admitted iff the key's cached bytes are below its quota; nothing is
 // ever evicted except when a quota is reduced, in which case
 // ShrinkQuota evicts uniformly at random (preserving the uniform access
-// pattern).
+// pattern). All methods are safe for concurrent use: the simulator
+// drives the pool single-threaded, but the testbed's loader goroutines
+// hit it concurrently through the data manager.
 type QuotaPool struct {
-	capacity unit.Bytes
-	keys     map[string]*keyState
-	quotas   map[string]unit.Bytes
-	total    unit.Bytes
-	rng      *simrng.RNG
-	met      PoolMetrics
+	capacity unit.Bytes // immutable after construction
+
+	mu     sync.Mutex
+	keys   map[string]*keyState  // guarded by mu
+	quotas map[string]unit.Bytes // guarded by mu
+	total  unit.Bytes            // guarded by mu
+	rng    *simrng.RNG           // guarded by mu
+	met    PoolMetrics           // guarded by mu
 }
 
 // NewQuotaPool returns an empty pool with the given capacity. The RNG
@@ -88,6 +93,8 @@ func (p *QuotaPool) Register(key string, numBlocks int, blockSize unit.Bytes) er
 	if numBlocks < 0 || blockSize <= 0 {
 		return fmt.Errorf("cache: bad geometry for %q: %d blocks of %v", key, numBlocks, blockSize)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if st, ok := p.keys[key]; ok {
 		if st.numBlocks != numBlocks || st.blockSize != blockSize {
 			return fmt.Errorf("cache: %q re-registered with different geometry", key)
@@ -102,6 +109,8 @@ func (p *QuotaPool) Register(key string, numBlocks int, blockSize unit.Bytes) er
 // future admissions; lowering it evicts uniformly random cached blocks
 // until the key fits. The quota is clamped to the pool capacity.
 func (p *QuotaPool) SetQuota(key string, quota unit.Bytes) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return fmt.Errorf("cache: quota for unregistered key %q", key)
@@ -115,16 +124,21 @@ func (p *QuotaPool) SetQuota(key string, quota unit.Bytes) error {
 	p.quotas[key] = quota
 	// Enforce shrink immediately: evict random blocks above the quota.
 	for unit.Bytes(st.cached.Count())*st.blockSize > quota {
-		p.evictRandom(st)
+		p.evictRandomLocked(st)
 	}
 	return nil
 }
 
 // Quota reports key's quota (0 if never set).
-func (p *QuotaPool) Quota(key string) unit.Bytes { return p.quotas[key] }
+func (p *QuotaPool) Quota(key string) unit.Bytes {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quotas[key]
+}
 
-// evictRandom removes one uniformly random cached block of st.
-func (p *QuotaPool) evictRandom(st *keyState) {
+// evictRandomLocked removes one uniformly random cached block of st;
+// the caller holds p.mu.
+func (p *QuotaPool) evictRandomLocked(st *keyState) {
 	if st.cached.Count() == 0 {
 		return
 	}
@@ -148,6 +162,8 @@ func (p *QuotaPool) evictRandom(st *keyState) {
 // Access implements Pool: hit if cached; on miss, admit while the key is
 // under quota and the pool is under capacity.
 func (p *QuotaPool) Access(key string, blk BlockID) (Outcome, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return Outcome{}, fmt.Errorf("cache: access to unregistered key %q", key)
@@ -175,6 +191,8 @@ func (p *QuotaPool) Access(key string, blk BlockID) (Outcome, error) {
 
 // Contains implements Pool.
 func (p *QuotaPool) Contains(key string, blk BlockID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return false
@@ -184,6 +202,8 @@ func (p *QuotaPool) Contains(key string, blk BlockID) bool {
 
 // CachedBlocks implements Pool.
 func (p *QuotaPool) CachedBlocks(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return 0
@@ -193,6 +213,8 @@ func (p *QuotaPool) CachedBlocks(key string) int {
 
 // CachedBytes implements Pool.
 func (p *QuotaPool) CachedBytes(key string) unit.Bytes {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return 0
@@ -201,13 +223,19 @@ func (p *QuotaPool) CachedBytes(key string) unit.Bytes {
 }
 
 // TotalCachedBytes implements Pool.
-func (p *QuotaPool) TotalCachedBytes() unit.Bytes { return p.total }
+func (p *QuotaPool) TotalCachedBytes() unit.Bytes {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
 
 // Capacity implements Pool.
 func (p *QuotaPool) Capacity() unit.Bytes { return p.capacity }
 
 // Keys returns the registered keys in sorted order.
 func (p *QuotaPool) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]string, 0, len(p.keys))
 	for k := range p.keys {
 		out = append(out, k)
@@ -219,6 +247,8 @@ func (p *QuotaPool) Keys() []string {
 // DropKey evicts everything under key and forgets it — used when the
 // last job using a private dataset finishes.
 func (p *QuotaPool) DropKey(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	st, ok := p.keys[key]
 	if !ok {
 		return

@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+// TestQuotaPoolConcurrentAccess drives a QuotaPool the way the testbed
+// does: one loader goroutine per job reading its dataset while the
+// scheduler resizes quotas concurrently. Run under -race (make
+// verify); afterwards the pool's books must balance exactly — per-key
+// bytes sum to the pool total and respect the final quotas.
+func TestQuotaPoolConcurrentAccess(t *testing.T) {
+	const (
+		workers   = 8
+		blocks    = 64
+		accesses  = 500
+		blockSize = unit.MB
+	)
+	p := NewQuotaPool(unit.Bytes(workers*blocks)*blockSize, simrng.New(7))
+	keys := make([]string, workers)
+	for w := range keys {
+		keys[w] = fmt.Sprintf("ds%d", w)
+		if err := p.Register(keys[w], blocks, blockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := keys[w]
+			rng := simrng.New(int64(100 + w))
+			for i := 0; i < accesses; i++ {
+				if i%50 == 0 {
+					// Shrink-then-grow: exercises random eviction
+					// against concurrent admissions on other keys.
+					q := unit.Bytes((i/50)%blocks) * blockSize
+					if err := p.SetQuota(key, q); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if _, err := p.Access(key, BlockID(rng.Intn(blocks))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic final-state invariants (the exact cached set depends
+	// on interleaving; the accounting must not).
+	var sum unit.Bytes
+	for _, key := range keys {
+		cached := p.CachedBytes(key)
+		sum += cached
+		if q := p.Quota(key); cached > q {
+			t.Errorf("%s: cached %v exceeds quota %v", key, cached, q)
+		}
+		if n := p.CachedBlocks(key); unit.Bytes(n)*blockSize != cached {
+			t.Errorf("%s: %d blocks but %v bytes", key, n, cached)
+		}
+	}
+	if total := p.TotalCachedBytes(); total != sum {
+		t.Errorf("pool total %v != per-key sum %v", total, sum)
+	}
+	if total := p.TotalCachedBytes(); total > p.Capacity() {
+		t.Errorf("pool total %v exceeds capacity %v", total, p.Capacity())
+	}
+}

@@ -24,18 +24,19 @@ type DataPlane interface {
 	AllocateRemoteIO(jobID string, speed unit.Bandwidth) error
 }
 
-// schedJob is the scheduler's job record.
+// schedJob is the scheduler's job record. Records never escape the
+// SchedulerServer, so their mutable fields belong to its lock.
 type schedJob struct {
-	req       SubmitJobRequest
-	submitted time.Time
-	attained  unit.Bytes
-	effective unit.Bytes
-	cached    unit.Bytes
-	running   bool
-	done      bool
-	gpus      int
-	quota     unit.Bytes
-	remoteIO  unit.Bandwidth
+	req       SubmitJobRequest // immutable after Submit
+	submitted time.Time        // immutable after Submit
+	attained  unit.Bytes       // guarded by SchedulerServer.mu
+	effective unit.Bytes       // guarded by SchedulerServer.mu
+	cached    unit.Bytes       // guarded by SchedulerServer.mu
+	running   bool             // guarded by SchedulerServer.mu
+	done      bool             // guarded by SchedulerServer.mu
+	gpus      int              // guarded by SchedulerServer.mu
+	quota     unit.Bytes       // guarded by SchedulerServer.mu
+	remoteIO  unit.Bandwidth   // guarded by SchedulerServer.mu
 }
 
 // SchedulerServer is the SiloD Scheduler (§6, Figure 7): it extends a
@@ -46,9 +47,9 @@ type SchedulerServer struct {
 	cluster  core.Cluster
 	policy   core.Policy
 	dp       DataPlane
-	jobs     map[string]*schedJob
-	clock    func() time.Time // injected; never the package-level time.Now
-	epoch    time.Time        // scheduler start, for Submit timestamps
+	jobs     map[string]*schedJob // guarded by mu
+	clock    func() time.Time     // injected; never the package-level time.Now
+	epoch    time.Time            // scheduler start, for Submit timestamps
 	mux      *http.ServeMux
 	registry *metrics.Registry
 	met      schedMetrics

@@ -23,7 +23,8 @@ import (
 	"repro/internal/unit"
 )
 
-// jobState is the manager's per-job bookkeeping.
+// jobState is the manager's per-job bookkeeping. The mutable counters
+// belong to the Manager's lock: jobState values never escape it.
 type jobState struct {
 	id       string
 	dataset  string
@@ -31,11 +32,11 @@ type jobState struct {
 	accessed *cache.Bitset // blocks read in the current epoch (§6 bitset)
 	// effectiveBlocks is the number of cached blocks at epoch start:
 	// the cache that actually reduces this epoch's remote IO.
-	effectiveBlocks int
-	epoch           int
-	remoteBytes     unit.Bytes // lifetime remote traffic
-	hitBlocks       int64
-	missBlocks      int64
+	effectiveBlocks int        // guarded by Manager.mu
+	epoch           int        // guarded by Manager.mu
+	remoteBytes     unit.Bytes // guarded by Manager.mu (lifetime remote traffic)
+	hitBlocks       int64      // guarded by Manager.mu
+	missBlocks      int64      // guarded by Manager.mu
 }
 
 // datasetInfo is the per-dataset geometry.
@@ -49,14 +50,14 @@ type datasetInfo struct {
 // Manager is the SiloD data manager.
 type Manager struct {
 	mu       sync.Mutex
-	pool     *cache.QuotaPool
-	ledger   *remoteio.Ledger
-	jobs     map[string]*jobState
-	datasets map[string]datasetInfo
+	pool     *cache.QuotaPool       // immutable handle; pool state has its own lock
+	ledger   *remoteio.Ledger       // immutable handle; ledger state has its own lock
+	jobs     map[string]*jobState   // guarded by mu
+	datasets map[string]datasetInfo // guarded by mu
 	clock    func() time.Time
 
-	registry  *metrics.Registry
-	bucketMet remoteio.BucketMetrics // shared by every job's token bucket
+	registry  *metrics.Registry      // guarded by mu
+	bucketMet remoteio.BucketMetrics // guarded by mu (shared by every job's token bucket)
 }
 
 // New returns a manager over a cache of the given capacity and a remote

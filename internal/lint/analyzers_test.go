@@ -83,8 +83,14 @@ func runFixture(t *testing.T, an *Analyzer, dir, asPath string) ([]Diagnostic, *
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Shared:   make(map[string]any),
 	}
 	an.Run(pass)
+	if an.Finish != nil {
+		fin := &Pass{Analyzer: an, Fset: l.Fset, Shared: pass.Shared}
+		an.Finish(fin)
+		pass.diags = append(pass.diags, fin.diags...)
+	}
 	return pass.diags, pkg
 }
 
@@ -131,6 +137,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{UnitSafety, "unitsafety", "fixture/internal/policy"},
 		{MetricNames, "metricnames", "fixture/internal/policy"},
 		{FloatCmp, "floatcmp", "fixture/internal/estimator"},
+		{Lockcheck, "lockcheck", "fixture/internal/datamgr"},
+		{Lockorder, "lockorder", "fixture/internal/lockorder"},
+		{Goleak, "goleak", "fixture/internal/testbed"},
+		{Errflow, "errflow", "fixture/internal/metrics"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -158,6 +168,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{"floatcmp-outside-numerics", FloatCmp, "floatcmp", "fixture/internal/workload"},
 		{"rngpurity-inside-simrng", RNGPurity, "rngpurity_simrng", "fixture/internal/simrng"},
 		{"unitsafety-inside-unit", UnitSafety, "unitsafety", "fixture/internal/unit"},
+		{"errflow-panic-outside-daemon", Errflow, "errflow_panic", "fixture/internal/sim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -175,6 +186,15 @@ func TestRNGPurityOutsideSimrng(t *testing.T) {
 	diags, _ := runFixture(t, RNGPurity, "rngpurity_simrng", "fixture/internal/workload")
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "math/rand") {
 		t.Errorf("want exactly the math/rand import finding, got:\n%s", formatDiags(diags))
+	}
+}
+
+// TestErrflowPanicInsideDaemon: the panic fixture that is accepted
+// under fixture/internal/sim is a finding on a daemon-reachable path.
+func TestErrflowPanicInsideDaemon(t *testing.T) {
+	diags, _ := runFixture(t, Errflow, "errflow_panic", "fixture/internal/cache")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "panic in daemon-reachable package") {
+		t.Errorf("want exactly the panic finding, got:\n%s", formatDiags(diags))
 	}
 }
 

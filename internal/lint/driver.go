@@ -36,8 +36,18 @@ func Run(root string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Packages: len(pkgs)}
+	shared := make(map[string]any)
 	for _, pkg := range pkgs {
-		res.Diagnostics = append(res.Diagnostics, AnalyzePackage(loader, pkg, opts)...)
+		res.Diagnostics = append(res.Diagnostics, analyzePackage(loader, pkg, opts, shared)...)
+	}
+	// Global analyzers see the whole module before judging.
+	for _, an := range All() {
+		if an.Finish == nil || opts.Disable[an.Name] {
+			continue
+		}
+		pass := &Pass{Analyzer: an, Fset: loader.Fset, Shared: shared}
+		an.Finish(pass)
+		res.Diagnostics = append(res.Diagnostics, pass.diags...)
 	}
 	for i := range res.Diagnostics {
 		res.Diagnostics[i].Pos.Filename = relPath(loader.Root, res.Diagnostics[i].Pos.Filename)
@@ -59,8 +69,13 @@ func Run(root string, opts Options) (*Result, error) {
 }
 
 // AnalyzePackage runs the enabled analyzers over one loaded package
-// and returns raw (absolute-position) diagnostics.
+// and returns raw (absolute-position) diagnostics. Global analyzers'
+// Finish hooks do not run here — use Run for whole-module results.
 func AnalyzePackage(loader *Loader, pkg *Package, opts Options) []Diagnostic {
+	return analyzePackage(loader, pkg, opts, make(map[string]any))
+}
+
+func analyzePackage(loader *Loader, pkg *Package, opts Options, shared map[string]any) []Diagnostic {
 	var out []Diagnostic
 	for _, terr := range pkg.TypeErrors {
 		d := Diagnostic{Analyzer: "typecheck", Message: terr.Error()}
@@ -81,6 +96,7 @@ func AnalyzePackage(loader *Loader, pkg *Package, opts Options) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Shared:   shared,
 		}
 		an.Run(pass)
 		out = append(out, pass.diags...)

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -28,6 +29,41 @@ func TestRepoLintClean(t *testing.T) {
 	}
 	for _, r := range allow.Unused() {
 		t.Errorf("stale allow rule (matched nothing): %s: %s %s", r.Source, r.Analyzer, r.Path)
+	}
+}
+
+// TestRetiredFloatcmpRulesGoStale proves the stale-rule detector earns
+// its keep: the four floatcmp exceptions that used to cover
+// internal/sim record-on-change comparisons were retired by the
+// unit.Bytes.Changed / unit.Bandwidth.Changed helpers, so re-adding
+// one must surface as a stale (matched-nothing) rule, not silently
+// ride along.
+func TestRetiredFloatcmpRulesGoStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := filepath.Join("..", "..")
+	allow, err := ParseAllow(strings.NewReader(
+		"floatcmp internal/sim/batch.go float equality\n"+
+			"floatcmp internal/sim/fluid.go float equality\n"), "retired.allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		allow.Allows(d)
+	}
+	stale := allow.Unused()
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale rules, want 2 (the retired floatcmp exceptions): %v", len(stale), stale)
+	}
+	for _, r := range stale {
+		if r.Analyzer != "floatcmp" {
+			t.Errorf("unexpected stale rule: %s %s", r.Analyzer, r.Path)
+		}
 	}
 }
 

@@ -2,8 +2,12 @@
 // enforces the invariants the compiler cannot: the simulator stays
 // bit-deterministic (wallclock, rngpurity), throughput math does not
 // mix physical units (unitsafety), metric names follow the conventions
-// in docs/observability.md (metricnames), and simulator math never
-// relies on exact float equality (floatcmp).
+// in docs/observability.md (metricnames), simulator math never relies
+// on exact float equality (floatcmp), annotated shared state is only
+// touched under its mutex (lockcheck), the global lock-acquisition
+// graph stays acyclic (lockorder), goroutines have shutdown paths
+// (goleak), and errors are never silently discarded nor daemon paths
+// allowed to panic (errflow).
 //
 // The suite is self-contained: packages are parsed with go/parser and
 // type-checked with go/types, resolving module-internal imports from
@@ -42,11 +46,15 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one named rule. Run inspects a type-checked package and
-// reports findings through the pass.
+// reports findings through the pass. Global analyzers additionally set
+// Finish, which the driver calls once after every package has been
+// analyzed; per-package Run invocations communicate with Finish
+// through Pass.Shared.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(*Pass) // optional whole-module pass; Files/Pkg/Info are nil
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -57,6 +65,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Shared is per-driver-run cross-package state, keyed by analyzer.
+	// The same map is handed to every Run and Finish invocation of one
+	// lint run, letting global analyzers (lockorder) accumulate a
+	// module-wide view.
+	Shared map[string]any
 
 	diags []Diagnostic
 }
@@ -72,7 +86,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, RNGPurity, UnitSafety, MetricNames, FloatCmp}
+	return []*Analyzer{
+		Wallclock, RNGPurity, UnitSafety, MetricNames, FloatCmp,
+		Lockcheck, Lockorder, Goleak, Errflow,
+	}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder builds a global lock-acquisition graph and rejects cycles.
+// Locks are identified at the type level ("pkg.Type.field"), so the
+// graph says "some Manager.mu is held while some TokenBucket.mu is
+// acquired". Run records, per function, every acquisition (with the
+// locks held at that point) and every resolvable call (with the locks
+// held at the call site); Finish closes the call graph — resolving
+// interface-method calls against every implementation seen anywhere in
+// the module — propagates transitive acquisitions, and reports every
+// edge that participates in a cycle. A self-edge (acquiring a lock
+// type while an instance of it is already held, possibly through a
+// call chain) counts as a cycle: with a single instance it deadlocks,
+// and with two instances the order between them is unconstrained.
+//
+// Approximations, on the safe-for-this-repo side: calls through plain
+// function values are not resolved, and two instances of the same
+// type-level lock are not distinguished.
+var Lockorder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "the cross-package lock-acquisition graph must be acyclic",
+	Run:    runLockorder,
+	Finish: finishLockorder,
+}
+
+const lockorderKey = "lockorder"
+
+type loAcquire struct {
+	node string
+	held []string
+	pos  token.Pos
+}
+
+type loCall struct {
+	callee *types.Func
+	held   []string
+	pos    token.Pos
+}
+
+type loFunc struct {
+	fn       *types.Func
+	acquires []loAcquire
+	calls    []loCall
+
+	acquired map[string]bool // transitive closure, built in Finish
+	visiting bool
+	closed   bool
+}
+
+// loState is the cross-package record, shared through Pass.Shared.
+type loState struct {
+	funcs map[*types.Func]*loFunc
+	order []*loFunc // deterministic iteration order
+}
+
+func lockorderState(p *Pass) *loState {
+	if st, ok := p.Shared[lockorderKey].(*loState); ok {
+		return st
+	}
+	st := &loState{funcs: make(map[*types.Func]*loFunc)}
+	p.Shared[lockorderKey] = st
+	return st
+}
+
+func runLockorder(p *Pass) {
+	st := lockorderState(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			rec := &loFunc{fn: fn}
+			st.funcs[fn] = rec
+			st.order = append(st.order, rec)
+			walkLockFlow(p, fd, lockHooks{
+				lock: func(lk *lockRef, pos token.Pos, held []*lockRef) {
+					rec.acquires = append(rec.acquires, loAcquire{node: lk.node, held: nodesOf(held), pos: pos})
+				},
+				call: func(callee *types.Func, base ast.Expr, allocated bool, pos token.Pos, held lockState) {
+					rec.calls = append(rec.calls, loCall{callee: callee, held: nodesOf(heldList(held)), pos: pos})
+				},
+			})
+		}
+	}
+}
+
+func nodesOf(held []*lockRef) []string {
+	var out []string
+	for _, lk := range held {
+		if lk.node != "" {
+			out = append(out, lk.node)
+		}
+	}
+	return out
+}
+
+type loEdge struct {
+	from, to string
+}
+
+func finishLockorder(p *Pass) {
+	st, ok := p.Shared[lockorderKey].(*loState)
+	if !ok {
+		return
+	}
+	for _, rec := range st.order {
+		st.close(rec)
+	}
+
+	// Collect edges held → acquired, keeping the first position seen
+	// (iteration order is deterministic: package load order, then
+	// source order within each function).
+	edgePos := make(map[loEdge]token.Pos)
+	var edges []loEdge
+	addEdge := func(from, to string, pos token.Pos) {
+		e := loEdge{from, to}
+		if _, seen := edgePos[e]; !seen {
+			edgePos[e] = pos
+			edges = append(edges, e)
+		}
+	}
+	for _, rec := range st.order {
+		for _, a := range rec.acquires {
+			for _, h := range a.held {
+				addEdge(h, a.node, a.pos)
+			}
+		}
+		for _, c := range rec.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, callee := range st.resolve(c.callee) {
+				for to := range callee.acquired {
+					for _, h := range c.held {
+						addEdge(h, to, c.pos)
+					}
+				}
+			}
+		}
+	}
+
+	scc := stronglyConnected(edges)
+	for _, e := range edges {
+		inCycle := e.from == e.to || (scc[e.from] != 0 && scc[e.from] == scc[e.to])
+		if !inCycle {
+			continue
+		}
+		if e.from == e.to {
+			p.Reportf(edgePos[e], "lock order cycle: %s acquired while an instance of %s is already held (re-entry through this path deadlocks)",
+				shortNode(e.to), shortNode(e.from))
+			continue
+		}
+		p.Reportf(edgePos[e], "lock order cycle: %s acquired while %s is held, but another path acquires them in the opposite order (cycle: %s)",
+			shortNode(e.to), shortNode(e.from), cycleMembers(scc, scc[e.from]))
+	}
+}
+
+// close computes rec's transitive acquired set, resolving calls
+// through the module-wide function index; recursion is cut at the
+// back-edge (the partial set is sound for cycle detection).
+func (st *loState) close(rec *loFunc) map[string]bool {
+	if rec.closed || rec.visiting {
+		return rec.acquired
+	}
+	rec.visiting = true
+	rec.acquired = make(map[string]bool)
+	for _, a := range rec.acquires {
+		rec.acquired[a.node] = true
+	}
+	for _, c := range rec.calls {
+		for _, callee := range st.resolve(c.callee) {
+			for n := range st.close(callee) {
+				rec.acquired[n] = true
+			}
+		}
+	}
+	rec.visiting = false
+	rec.closed = true
+	return rec.acquired
+}
+
+// resolve maps a callee to the recorded function bodies it may run:
+// itself if concrete, or every module method implementing it if it is
+// an interface method.
+func (st *loState) resolve(callee *types.Func) []*loFunc {
+	if rec, ok := st.funcs[callee]; ok {
+		return []*loFunc{rec}
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*loFunc
+	for _, rec := range st.order {
+		rsig, ok := rec.fn.Type().(*types.Signature)
+		if !ok || rsig.Recv() == nil || rec.fn.Name() != callee.Name() {
+			continue
+		}
+		if types.Implements(rsig.Recv().Type(), iface) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// stronglyConnected returns a component id per node; nodes alone in
+// their component get id 0 (no cycle through them) unless they have a
+// self-edge, which the caller checks directly.
+func stronglyConnected(edges []loEdge) map[string]int {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	// Tarjan, iterative over a small graph via recursion depth bound
+	// by node count (fine for a lock graph).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 1, 1
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				for _, m := range members {
+					comp[m] = compID
+				}
+				compID++
+			}
+		}
+	}
+	for _, n := range order {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}
+
+// cycleMembers renders the sorted member list of one component.
+func cycleMembers(scc map[string]int, id int) string {
+	var members []string
+	for n, c := range scc {
+		if c == id {
+			members = append(members, shortNode(n))
+		}
+	}
+	sort.Strings(members)
+	return strings.Join(members, " ↔ ")
+}
+
+// shortNode trims the module path prefix off a lock node for readable
+// diagnostics: "repro/internal/datamgr.Manager.mu" → "datamgr.Manager.mu".
+func shortNode(n string) string {
+	if i := strings.LastIndex(n, "/"); i >= 0 {
+		return n[i+1:]
+	}
+	return n
+}

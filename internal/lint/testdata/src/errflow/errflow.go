@@ -1,0 +1,64 @@
+// Package errflow exercises the error-discipline analyzer under a
+// daemon-reachable path (fixture/internal/metrics): discarded errors
+// in every syntactic position, the fmt/Builder exemptions, and the
+// panic ban.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error      { return errors.New("boom") }
+func value() (int, error) { return 0, errors.New("boom") }
+func pair() (int, bool)   { return 0, false }
+
+func bare() {
+	mayFail() // want `discarded error return from mayFail`
+}
+
+func deferred() {
+	defer mayFail() // want `discarded error return from mayFail`
+}
+
+func blank() {
+	_ = mayFail() // want `error value assigned to _`
+}
+
+func tupleBlank() int {
+	v, _ := value() // want `error from value assigned to _`
+	return v
+}
+
+// handled propagates: accepted.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := value()
+	if err != nil {
+		return err
+	}
+	use(v)
+	return nil
+}
+
+// nonError discards a bool, not an error: accepted.
+func nonError() int {
+	v, _ := pair()
+	return v
+}
+
+// exempt callees: fmt writes and never-failing builders.
+func exempt(sb *strings.Builder) {
+	fmt.Println("x")
+	fmt.Fprintf(sb, "y")
+	sb.WriteString("z")
+}
+
+func boom() {
+	panic("no") // want `panic in daemon-reachable package`
+}
+
+func use(int) {}

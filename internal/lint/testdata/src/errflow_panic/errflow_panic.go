@@ -1,0 +1,8 @@
+// Package errflowpanic holds a lone panic: flagged under a
+// daemon-reachable import path, accepted elsewhere (the scoping test
+// loads it as fixture/internal/sim).
+package errflowpanic
+
+func boom() {
+	panic("tooling may panic")
+}

@@ -1,0 +1,87 @@
+// Package goleak exercises the goroutine-hygiene analyzer: each
+// accepted shutdown idiom, plus fire-and-forget leaks.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leak has no shutdown path at all.
+func leak() {
+	go func() { // want `goroutine has no shutdown path`
+		for i := 0; ; i++ {
+			work()
+		}
+	}()
+}
+
+// leakNamed delegates to a callee that cannot observe shutdown.
+func leakNamed() {
+	go work() // want `goroutine has no shutdown path`
+}
+
+// leakNested: the inner goroutine has a receive, but the outer one's
+// own body has nothing — each go statement stands alone.
+func leakNested(ch chan int) {
+	go func() { // want `goroutine has no shutdown path`
+		go func() {
+			<-ch
+		}()
+	}()
+}
+
+// okDone selects on a done channel.
+func okDone(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+// okRecv blocks on a plain receive: a close unblocks it.
+func okRecv(ch chan int) {
+	go func() {
+		v := <-ch
+		use(v)
+	}()
+}
+
+// okRange drains a channel until it is closed.
+func okRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// okWG ties its lifetime to a WaitGroup.
+func okWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// okNamed hands the callee a stop channel.
+func okNamed(stop chan struct{}) {
+	go run(stop)
+}
+
+// okCtx hands the callee a context.
+func okCtx(ctx context.Context) {
+	go runCtx(ctx)
+}
+
+func run(stop chan struct{})     { <-stop }
+func runCtx(ctx context.Context) { <-ctx.Done() }
+func work()                      {}
+func use(int)                    {}

@@ -1,0 +1,107 @@
+// Package lockcheck exercises the guarded-field analyzer: sibling and
+// cross-struct annotations, the Locked-suffix convention, RWMutex
+// read/write asymmetry, constructor exemption, and double-lock.
+package lockcheck
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+}
+
+// get holds the lock via the lock/defer-unlock idiom.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// put unlocks explicitly, with an early-return branch: the lock stays
+// held on the fallthrough path.
+func (s *store) put(k string, v int) bool {
+	s.mu.Lock()
+	if _, dup := s.items[k]; dup {
+		s.mu.Unlock()
+		return false
+	}
+	s.items[k] = v
+	s.mu.Unlock()
+	return true
+}
+
+// bumpLocked follows the convention: the caller holds s.mu.
+func (s *store) bumpLocked() {
+	s.hits++
+}
+
+func (s *store) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}
+
+func (s *store) peek(k string) int {
+	return s.items[k] // want `read of s.items without holding s.mu`
+}
+
+func (s *store) bumpUnsafe() {
+	s.bumpLocked() // want `call to bumpLocked requires s.mu to be held`
+}
+
+func (s *store) stuck() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s.mu locked twice on the same path`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// newStore touches fields before publication: exempt.
+func newStore() *store {
+	s := &store{items: make(map[string]int)}
+	s.hits = 0
+	return s
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+// read may hold just the read lock.
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+func (g *gauge) badWrite() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val = 1 // want `write to g.val while g.mu is only read-locked`
+}
+
+// Cross-struct guard: entry values live inside table and share its lock.
+type table struct {
+	mu      sync.Mutex
+	entries map[string]*entry // guarded by mu
+}
+
+type entry struct {
+	n int // guarded by table.mu
+}
+
+func (t *table) inc(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[k].n++
+}
+
+func poke(e *entry) {
+	e.n++ // want `write to e.n without holding table.mu`
+}
+
+type broken struct {
+	x int // guarded by nope // want `guarded-by annotation names "nope", but the struct has no such field`
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegisterSnapshot hammers the registry from concurrent
+// writers while readers snapshot, the access pattern the daemon sees:
+// handlers intern and bump series while /metrics scrapes. Run under
+// -race (make verify); the final state is deterministic regardless of
+// interleaving.
+func TestConcurrentRegisterSnapshot(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	r := NewRegistry("race")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := fmt.Sprintf("w%d", w)
+			for i := 0; i < rounds; i++ {
+				// Shared series: every worker interns the same handle.
+				r.Counter("race_shared_total").Inc()
+				// Per-worker series: interning races only on the map.
+				r.Counter("race_worker_total", L("worker", own)).Inc()
+				r.Gauge("race_last", L("worker", own)).Set(float64(i))
+				if i%10 == 0 {
+					// Concurrent scrape; value is torn-free but not a cut.
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.CounterValue("race_shared_total", nil); got != workers*rounds {
+		t.Errorf("race_shared_total = %v, want %d", got, workers*rounds)
+	}
+	for w := 0; w < workers; w++ {
+		labels := map[string]string{"worker": fmt.Sprintf("w%d", w)}
+		if got := snap.CounterValue("race_worker_total", labels); got != rounds {
+			t.Errorf("race_worker_total{worker=w%d} = %v, want %d", w, got, rounds)
+		}
+		if got := snap.CounterValue("race_last", labels); got != rounds-1 {
+			t.Errorf("race_last{worker=w%d} = %v, want %d", w, got, rounds-1)
+		}
+	}
+}

@@ -64,7 +64,7 @@ type family struct {
 type Registry struct {
 	name     string
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry with the given name.

@@ -34,9 +34,9 @@ type Event struct {
 // for post-mortem debugging, and dropping beats unbounded growth.
 type Timeline struct {
 	mu      sync.Mutex
-	events  []Event
-	limit   int
-	dropped int64
+	events  []Event // guarded by mu
+	limit   int     // immutable after construction
+	dropped int64   // guarded by mu
 }
 
 // DefaultTimelineLimit bounds a Timeline constructed with limit <= 0.

@@ -20,13 +20,16 @@ func NewLedgerMetrics(r *metrics.Registry) LedgerMetrics {
 
 // SetMetrics attaches instrumentation and publishes the current state.
 func (l *Ledger) SetMetrics(m LedgerMetrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.met = m
-	l.publish()
+	l.publishLocked()
 }
 
-// publish refreshes the ledger gauges from the current allocations.
-func (l *Ledger) publish() {
-	alloc := l.Allocated()
+// publishLocked refreshes the ledger gauges from the current
+// allocations; the caller holds l.mu.
+func (l *Ledger) publishLocked() {
+	alloc := l.allocatedLocked()
 	l.met.Allocated.Set(float64(alloc))
 	if l.capacity > 0 {
 		l.met.Utilization.Set(float64(alloc) / float64(l.capacity))

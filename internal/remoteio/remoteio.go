@@ -18,10 +18,13 @@ import (
 // Ledger tracks per-job remote IO allocations against the cluster's
 // egress capacity. Allocations are advisory targets the data plane
 // enforces; the ledger validates they never oversubscribe capacity.
+// All methods are safe for concurrent use.
 type Ledger struct {
-	capacity unit.Bandwidth
-	alloc    map[string]unit.Bandwidth
-	met      LedgerMetrics
+	capacity unit.Bandwidth // immutable after construction
+
+	mu    sync.Mutex
+	alloc map[string]unit.Bandwidth // guarded by mu
+	met   LedgerMetrics             // guarded by mu
 }
 
 // NewLedger returns an empty ledger with the given egress capacity.
@@ -39,28 +42,42 @@ func (l *Ledger) Set(jobID string, bw unit.Bandwidth) error {
 	if bw < 0 {
 		return fmt.Errorf("remoteio: negative allocation %v for %s", bw, jobID)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	const tol = 1e-6
-	newTotal := l.Allocated() - l.alloc[jobID] + bw
+	newTotal := l.allocatedLocked() - l.alloc[jobID] + bw
 	if float64(newTotal) > float64(l.capacity)*(1+tol)+1 {
 		return fmt.Errorf("remoteio: allocating %v to %s oversubscribes capacity %v (already %v)",
-			bw, jobID, l.capacity, l.Allocated()-l.alloc[jobID])
+			bw, jobID, l.capacity, l.allocatedLocked()-l.alloc[jobID])
 	}
 	l.alloc[jobID] = bw
-	l.publish()
+	l.publishLocked()
 	return nil
 }
 
 // Get reports jobID's allocation (0 if none).
-func (l *Ledger) Get(jobID string) unit.Bandwidth { return l.alloc[jobID] }
+func (l *Ledger) Get(jobID string) unit.Bandwidth {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alloc[jobID]
+}
 
 // Remove forgets jobID's allocation.
 func (l *Ledger) Remove(jobID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	delete(l.alloc, jobID)
-	l.publish()
+	l.publishLocked()
 }
 
 // Allocated reports the sum of all allocations.
 func (l *Ledger) Allocated() unit.Bandwidth {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.allocatedLocked()
+}
+
+func (l *Ledger) allocatedLocked() unit.Bandwidth {
 	var s unit.Bandwidth
 	for _, bw := range l.alloc {
 		s += bw
@@ -79,6 +96,8 @@ func (l *Ledger) Free() unit.Bandwidth {
 
 // Jobs returns the jobs with allocations, sorted for determinism.
 func (l *Ledger) Jobs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]string, 0, len(l.alloc))
 	for id := range l.alloc {
 		out = append(out, id)
@@ -169,12 +188,12 @@ func EqualShare(capacity unit.Bandwidth, demands []Demand) map[string]unit.Bandw
 // rate. It is driven by real wall-clock time scaled by the testbed.
 type TokenBucket struct {
 	mu     sync.Mutex
-	rate   float64 // tokens (bytes) per second
-	burst  float64 // bucket depth in bytes
-	tokens float64
-	last   time.Time
+	rate   float64   // guarded by mu (tokens/bytes per second)
+	burst  float64   // immutable after construction (bucket depth in bytes)
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu
 	clock  func() time.Time
-	met    BucketMetrics
+	met    BucketMetrics // guarded by mu
 }
 
 // NewTokenBucket returns a bucket refilling at rate bytes/sec with the

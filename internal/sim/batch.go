@@ -250,7 +250,7 @@ func (s *batchSim) reschedule() {
 		mentioned := make(map[string]bool, len(a.CacheQuota))
 		for key, q := range a.CacheQuota {
 			mentioned[key] = true
-			if q != qp.Quota(key) {
+			if q.Changed(qp.Quota(key)) {
 				s.met.tl.RecordAt(s.q.Now(), metrics.EventCacheAlloc, key, float64(q), "quota_bytes")
 			}
 			if err := qp.SetQuota(key, q); err != nil {
@@ -267,7 +267,7 @@ func (s *batchSim) reschedule() {
 	}
 	for _, j := range act {
 		bw := a.RemoteIO[j.spec.ID]
-		if bw != j.remoteIO {
+		if bw.Changed(j.remoteIO) {
 			s.met.tl.RecordAt(s.q.Now(), metrics.EventIOAlloc, j.spec.ID, float64(bw), "bytes_per_sec")
 		}
 		j.remoteIO = bw

@@ -200,7 +200,7 @@ func (s *fluidSim) reschedule() error {
 	// Remote IO allocations.
 	for _, j := range act {
 		bw := a.RemoteIO[j.spec.ID]
-		if bw != j.remoteIO {
+		if bw.Changed(j.remoteIO) {
 			s.met.tl.RecordAt(float64(s.now), metrics.EventIOAlloc, j.spec.ID, float64(bw), "bytes_per_sec")
 		}
 		j.remoteIO = bw
@@ -224,7 +224,7 @@ func (s *fluidSim) applyQuota(key string, q unit.Bytes) {
 			return
 		}
 	}
-	if q != d.quota {
+	if q.Changed(d.quota) {
 		s.met.tl.RecordAt(float64(s.now), metrics.EventCacheAlloc, key, float64(q), "quota_bytes")
 	}
 	d.quota = q

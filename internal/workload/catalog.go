@@ -95,6 +95,25 @@ func DatasetByName(name string) (Dataset, error) {
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
 }
 
+// mustModel resolves a compile-time-known catalog name; a miss is a
+// programming error in the caller, not a runtime condition.
+func mustModel(name string) Model {
+	m, err := ModelByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// mustDataset is mustModel for datasets.
+func mustDataset(name string) Dataset {
+	d, err := DatasetByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 // Models returns a copy of the model catalog.
 func Models() []Model { return append([]Model(nil), modelCatalog...) }
 
@@ -121,16 +140,12 @@ func Figure6Jobs() []CatalogJob {
 	var jobs []CatalogJob
 	for _, mn := range imageModels {
 		for _, dn := range imageData {
-			m, _ := ModelByName(mn)
-			d, _ := DatasetByName(dn)
-			jobs = append(jobs, CatalogJob{Model: m, Dataset: d})
+			jobs = append(jobs, CatalogJob{Model: mustModel(mn), Dataset: mustDataset(dn)})
 		}
 	}
-	vlad, _ := ModelByName("VLAD")
-	yt, _ := DatasetByName("Youtube-8M")
-	bert, _ := ModelByName("BERT")
-	ws, _ := DatasetByName("WebSearch")
-	jobs = append(jobs, CatalogJob{Model: vlad, Dataset: yt}, CatalogJob{Model: bert, Dataset: ws})
+	jobs = append(jobs,
+		CatalogJob{Model: mustModel("VLAD"), Dataset: mustDataset("Youtube-8M")},
+		CatalogJob{Model: mustModel("BERT"), Dataset: mustDataset("WebSearch")})
 	sort.Slice(jobs, func(i, j int) bool {
 		return jobs[i].CacheEfficiency() > jobs[j].CacheEfficiency()
 	})

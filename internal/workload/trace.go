@@ -145,7 +145,7 @@ func Generate(cfg TraceConfig) ([]JobSpec, error) {
 			clock = clock.Add(unit.Duration(arrivalRNG.Exponential(meanGap)))
 		}
 		mName := names[mixRNG.WeightedChoice(ws)]
-		model, _ := ModelByName(mName)
+		model := mustModel(mName)
 		gpus := cfg.GPUCounts[mixRNG.WeightedChoice(cfg.GPUWeights)]
 
 		var ds Dataset
