@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench baseline clean
+.PHONY: build test vet lint race chaos verify bench baseline clean
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,17 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the seeded fault-injection suite under the race detector:
+# deterministic chaos replay on both simulator engines, concurrent
+# fault application against the live testbed, and the -faults schema
+# golden. See docs/fault-injection.md.
+chaos:
+	$(GO) test -race ./internal/faults/
+	$(GO) test -race -run 'Fault|Chaos|Loss|Crash' ./internal/sim/ ./internal/testbed/ ./cmd/silodsim/
+
 # verify is the pre-merge gate: compile everything, vet, lint, full
-# suite under the race detector.
-verify: build vet lint race
+# suite under the race detector, then the chaos suite.
+verify: build vet lint race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

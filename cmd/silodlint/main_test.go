@@ -34,12 +34,15 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/cache/cache\.go:\d+:\d+: lockorder: lock order cycle: .*opposite order`,
 		`(?m)^internal/cache/cache\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
 		`(?m)^internal/cache/cache\.go:\d+:\d+: errflow: error value assigned to _`,
+		`(?m)^internal/faults/faults\.go:\d+:\d+: wallclock: .*time\.Now`,
+		`(?m)^internal/faults/faults\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
+		`(?m)^internal/faults/faults\.go:\d+:\d+: errflow: error value assigned to _`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "7 finding(s)") {
+	if !strings.Contains(stderr, "10 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -52,6 +55,7 @@ func TestAllowlistSilences(t *testing.T) {
 	content := "# test exceptions\n" +
 		"* internal/sim/sim.go\n" +
 		"* internal/cache/cache.go\n" +
+		"* internal/faults/faults.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -107,8 +111,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 7 {
-		t.Fatalf("got %d JSON lines, want 7:\n%s", len(lines), stdout)
+	if len(lines) != 10 {
+		t.Fatalf("got %d JSON lines, want 10:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -126,8 +130,8 @@ func TestJSONOutput(t *testing.T) {
 			t.Errorf("no %s finding in JSON output:\n%s", want, stdout)
 		}
 	}
-	if d := byAnalyzer["goleak"]; d.Path != "internal/cache/cache.go" {
-		t.Errorf("goleak path = %q, want internal/cache/cache.go", d.Path)
+	if d := byAnalyzer["goleak"]; d.Path != "internal/faults/faults.go" {
+		t.Errorf("goleak path = %q, want internal/faults/faults.go", d.Path)
 	}
 	if strings.Contains(stdout, ": goleak: ") {
 		t.Errorf("-json output contains text-format diagnostics:\n%s", stdout)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/report"
@@ -204,6 +205,7 @@ func run(args []string, w *os.File) error {
 	engine := fs.String("engine", "fluid", "simulation engine: fluid | batch")
 	csvDir := fs.String("csv", "", "write timeline series as CSV files into this directory (trace mode)")
 	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, per-job events) to this file (trace mode)")
+	faultsPath := fs.String("faults", "", "replay a deterministic fault schedule (JSON, see docs/fault-injection.md) during the run (trace mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -222,7 +224,10 @@ func run(args []string, w *os.File) error {
 
 	o := experiments.Options{Seed: *seed, Jobs: *jobsN, Quick: *quick}
 	if *trace != "" {
-		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut)
+		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut, *faultsPath)
+	}
+	if *faultsPath != "" {
+		return fmt.Errorf("-faults requires -trace (fault schedules apply to trace runs)")
 	}
 	if *all {
 		ids := make([]string, 0, len(runners))
@@ -246,7 +251,7 @@ func run(args []string, w *os.File) error {
 }
 
 // runTrace simulates a trace file under one (scheduler, system) pair.
-func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir, metricsOut string) error {
+func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir, metricsOut, faultsPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -255,6 +260,17 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 	jobs, err := workload.ReadTrace(f)
 	if err != nil {
 		return err
+	}
+	var sched *faults.Schedule
+	if faultsPath != "" {
+		data, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return err
+		}
+		sched, err = faults.Parse(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", faultsPath, err)
+		}
 	}
 	k, err := policy.ParseSchedulerKind(scheduler)
 	if err != nil {
@@ -292,6 +308,7 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 		System:   cs,
 		Engine:   eng,
 		Seed:     seed,
+		Faults:   sched,
 		Metrics:  reg,
 		Timeline: tl,
 	}, jobs)

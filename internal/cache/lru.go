@@ -3,6 +3,7 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/unit"
@@ -142,6 +143,43 @@ func (p *LRUPool) TotalCachedBytes() unit.Bytes { return p.total }
 
 // Capacity implements Pool.
 func (p *LRUPool) Capacity() unit.Bytes { return p.capacity }
+
+// Resize changes the pool capacity — a cache-node loss or return.
+// Shrinking evicts from the LRU tail until the contents fit (the
+// blocks the policy would have evicted next anyway); growing restores
+// admission headroom but resurrects nothing.
+func (p *LRUPool) Resize(capacity unit.Bytes) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	p.capacity = capacity
+	for p.total > p.capacity {
+		if !p.evictLRU() {
+			return
+		}
+	}
+}
+
+// EvictFraction invalidates the given fraction of the pool's cached
+// blocks — the contents that lived on a failed cache node. Victims come
+// from the cold (LRU) end: without per-block placement there is no
+// seeded randomness in this pool, and evicting the coldest share is
+// deterministic and errs in the baseline's favour. frac is clamped to
+// [0, 1].
+func (p *LRUPool) EvictFraction(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	drop := int(math.Ceil(float64(p.order.Len()) * frac))
+	for i := 0; i < drop; i++ {
+		if !p.evictLRU() {
+			return
+		}
+	}
+}
 
 // Keys returns the registered keys in sorted order.
 func (p *LRUPool) Keys() []string {

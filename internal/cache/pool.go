@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -44,6 +45,12 @@ type Pool interface {
 	TotalCachedBytes() unit.Bytes
 	// Capacity reports the pool capacity in bytes.
 	Capacity() unit.Bytes
+	// Resize changes the pool capacity (a cache-node loss or return),
+	// evicting per the pool's policy until the contents fit.
+	Resize(capacity unit.Bytes)
+	// EvictFraction invalidates the given fraction of cached blocks —
+	// the contents that lived on a failed cache node.
+	EvictFraction(frac float64)
 }
 
 // keyState is the per-key bookkeeping shared by pool implementations.
@@ -63,14 +70,13 @@ type keyState struct {
 // drives the pool single-threaded, but the testbed's loader goroutines
 // hit it concurrently through the data manager.
 type QuotaPool struct {
-	capacity unit.Bytes // immutable after construction
-
-	mu     sync.Mutex
-	keys   map[string]*keyState  // guarded by mu
-	quotas map[string]unit.Bytes // guarded by mu
-	total  unit.Bytes            // guarded by mu
-	rng    *simrng.RNG           // guarded by mu
-	met    PoolMetrics           // guarded by mu
+	mu       sync.Mutex
+	capacity unit.Bytes            // guarded by mu (shrinks/grows on cache-node faults)
+	keys     map[string]*keyState  // guarded by mu
+	quotas   map[string]unit.Bytes // guarded by mu
+	total    unit.Bytes            // guarded by mu
+	rng      *simrng.RNG           // guarded by mu
+	met      PoolMetrics           // guarded by mu
 }
 
 // NewQuotaPool returns an empty pool with the given capacity. The RNG
@@ -230,7 +236,85 @@ func (p *QuotaPool) TotalCachedBytes() unit.Bytes {
 }
 
 // Capacity implements Pool.
-func (p *QuotaPool) Capacity() unit.Bytes { return p.capacity }
+func (p *QuotaPool) Capacity() unit.Bytes {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Resize changes the pool capacity — a cache-node loss or return.
+// Shrinking evicts uniformly random blocks (largest keys first would
+// bias the uniform access model) until the contents fit; quotas above
+// the new capacity are clamped so future admissions stay feasible.
+// Growing restores admission headroom but resurrects nothing.
+func (p *QuotaPool) Resize(capacity unit.Bytes) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capacity = capacity
+	for key, q := range p.quotas {
+		if q > capacity {
+			p.quotas[key] = capacity
+		}
+	}
+	for p.total > capacity {
+		st := p.largestKeyLocked()
+		if st == nil || st.cached.Count() == 0 {
+			return
+		}
+		p.evictRandomLocked(st)
+	}
+}
+
+// EvictFraction invalidates the given fraction of every key's cached
+// blocks, uniformly at random — the contents that lived on a failed
+// cache node. frac is clamped to [0, 1]; keys are visited in sorted
+// order and eviction uses the pool's seeded RNG, so the surviving set
+// is deterministic for a given seed.
+func (p *QuotaPool) EvictFraction(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.keys))
+	for k := range p.keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		st := p.keys[k]
+		drop := int(math.Ceil(float64(st.cached.Count()) * frac))
+		for i := 0; i < drop && st.cached.Count() > 0; i++ {
+			p.evictRandomLocked(st)
+		}
+	}
+}
+
+// largestKeyLocked returns the key with the most cached bytes (ties
+// broken by name, for determinism); the caller holds p.mu.
+func (p *QuotaPool) largestKeyLocked() *keyState {
+	var best *keyState
+	var bestBytes unit.Bytes
+	names := make([]string, 0, len(p.keys))
+	for k := range p.keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		st := p.keys[k]
+		b := unit.Bytes(st.cached.Count()) * st.blockSize
+		if b > bestBytes {
+			best, bestBytes = st, b
+		}
+	}
+	return best
+}
 
 // Keys returns the registered keys in sorted order.
 func (p *QuotaPool) Keys() []string {

@@ -68,6 +68,10 @@ type JobStatsResponse struct {
 }
 
 // SubmitJobRequest registers a training job with the scheduler.
+// RequestID, when set, makes the submit idempotent: the scheduler
+// remembers which job each request ID created, so a client retrying a
+// submit whose response was lost gets success instead of a duplicate
+// error. The HTTP client fills it automatically.
 type SubmitJobRequest struct {
 	JobID           string         `json:"job_id"`
 	Model           string         `json:"model"`
@@ -77,6 +81,27 @@ type SubmitJobRequest struct {
 	IdealThroughput unit.Bandwidth `json:"ideal_throughput"`
 	TotalBytes      unit.Bytes     `json:"total_bytes"`
 	Irregular       bool           `json:"irregular,omitempty"`
+	RequestID       string         `json:"request_id,omitempty"`
+}
+
+// HeartbeatRequest reports a node's liveness and the capacity it
+// contributes to the cluster. A node that stops heartbeating past the
+// liveness timeout is declared dead and its capacity leaves the
+// scheduler's effective cluster until it heartbeats again.
+type HeartbeatRequest struct {
+	Node  string     `json:"node"`
+	GPUs  int        `json:"gpus"`
+	Cache unit.Bytes `json:"cache,omitempty"`
+}
+
+// NodeStatus is the scheduler's view of one node, returned by
+// GET /v1/nodes.
+type NodeStatus struct {
+	Node            string     `json:"node"`
+	GPUs            int        `json:"gpus"`
+	Cache           unit.Bytes `json:"cache"`
+	LastSeenSeconds float64    `json:"last_seen_seconds"` // since scheduler start
+	Live            bool       `json:"live"`
 }
 
 // ProgressRequest reports a job's training progress (the scheduler

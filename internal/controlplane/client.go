@@ -4,12 +4,26 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/datamgr"
 	"repro/internal/metrics"
+	"repro/internal/simrng"
 	"repro/internal/unit"
+)
+
+// Client retry defaults: transient failures (connection errors, 5xx)
+// are retried with capped exponential backoff plus jitter. Every
+// request the client issues is either naturally idempotent or guarded
+// by a request ID (SubmitJob), so retries are always safe.
+const (
+	defaultAttempts       = 3
+	defaultBackoff        = 50 * time.Millisecond
+	maxBackoff            = 2 * time.Second
+	defaultAttemptTimeout = 5 * time.Second
 )
 
 // Client talks to a DataManagerServer or SchedulerServer over HTTP. It
@@ -18,48 +32,126 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	attempts int           // per-request attempt budget
+	backoff  time.Duration // initial backoff, doubled per retry
+
+	mu  sync.Mutex
+	rng *simrng.RNG // guarded by mu (jitter and request IDs)
 }
 
 // NewClient returns a client for the service at base (e.g.
-// "http://127.0.0.1:7070").
+// "http://127.0.0.1:7070"). The jitter RNG is seeded from the base URL
+// so distinct clients decorrelate while any one client stays
+// deterministic; SetRetry overrides the retry policy.
 func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(base)) // fnv's Write never fails
+	return &Client{
+		base:     base,
+		http:     &http.Client{Timeout: defaultAttemptTimeout},
+		attempts: defaultAttempts,
+		backoff:  defaultBackoff,
+		rng:      simrng.New(int64(h.Sum64())),
+	}
+}
+
+// SetRetry overrides the retry policy: attempts per request (minimum
+// 1), initial backoff between attempts, and the RNG driving jitter and
+// request IDs (nil keeps the current one). Tests inject a seeded RNG
+// and a zero backoff here.
+func (c *Client) SetRetry(attempts int, backoff time.Duration, rng *simrng.RNG) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	c.attempts = attempts
+	c.backoff = backoff
+	if rng != nil {
+		c.mu.Lock()
+		c.rng = rng
+		c.mu.Unlock()
+	}
+}
+
+// SetAttemptTimeout bounds each individual attempt (not the whole
+// retried request).
+func (c *Client) SetAttemptTimeout(d time.Duration) {
+	if d > 0 {
+		c.http.Timeout = d
+	}
 }
 
 // doJSON posts (or GETs, for nil body) and decodes the response into
-// out when non-nil. Non-2xx responses decode the server's error.
+// out when non-nil, retrying transient failures — transport errors and
+// 5xx responses — with capped exponential backoff and jitter. The
+// request body is rebuilt per attempt. Non-2xx, non-5xx responses
+// decode the server's error and fail immediately.
 func (c *Client) doJSON(method, path string, in, out any) error {
-	var body *bytes.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		buf, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("controlplane: marshal %s: %w", path, err)
 		}
-		body = bytes.NewReader(buf)
-	} else {
-		body = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 && c.backoff > 0 {
+			d := c.backoff << (attempt - 1)
+			if d > maxBackoff {
+				d = maxBackoff
+			}
+			c.mu.Lock()
+			jitter := time.Duration(c.rng.Float64() * float64(d) / 2)
+			c.mu.Unlock()
+			<-time.After(d + jitter)
+		}
+		retryable, err := c.attemptJSON(method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("controlplane: %s %s: giving up after %d attempts: %w",
+		method, path, c.attempts, lastErr)
+}
+
+// attemptJSON issues one attempt; the bool reports whether the failure
+// is worth retrying.
+func (c *Client) attemptJSON(method, path string, body []byte, out any) (bool, error) {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return true, err // transport failure (refused, reset, timeout)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		retryable := resp.StatusCode >= 500
 		var er ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("controlplane: %s %s: %s", method, path, er.Error)
+			return retryable, fmt.Errorf("controlplane: %s %s: %s", method, path, er.Error)
 		}
-		return fmt.Errorf("controlplane: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryable, fmt.Errorf("controlplane: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		return false, json.NewDecoder(resp.Body).Decode(out)
 	}
-	return nil
+	return false, nil
+}
+
+// newRequestID mints a client-unique idempotency token for a submit.
+func (c *Client) newRequestID(jobID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%s-%016x", jobID, c.rng.Int63())
 }
 
 // RegisterDataset implements DataPlane.
@@ -133,9 +225,29 @@ func (c *Client) Metrics() ([]metrics.Sample, error) {
 	return metrics.ParsePrometheus(resp.Body)
 }
 
-// SubmitJob submits a job to a scheduler server.
+// SubmitJob submits a job to a scheduler server. Submit is the one
+// non-idempotent call in the API, so the client stamps a request ID
+// (unless the caller set one): a retry whose first attempt landed but
+// whose response was lost dedupes server-side instead of failing as a
+// duplicate job.
 func (c *Client) SubmitJob(req SubmitJobRequest) error {
+	if req.RequestID == "" {
+		req.RequestID = c.newRequestID(req.JobID)
+	}
 	return c.doJSON("POST", "/v1/jobs", req, nil)
+}
+
+// Heartbeat reports a node's liveness and capacity to a scheduler
+// server.
+func (c *Client) Heartbeat(req HeartbeatRequest) error {
+	return c.doJSON("POST", "/v1/nodes/heartbeat", req, nil)
+}
+
+// Nodes fetches the scheduler's node table.
+func (c *Client) Nodes() ([]NodeStatus, error) {
+	var out []NodeStatus
+	err := c.doJSON("GET", "/v1/nodes", nil, &out)
+	return out, err
 }
 
 // ReportProgress posts a progress update to a scheduler server.

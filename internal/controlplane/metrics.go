@@ -10,22 +10,36 @@ import (
 // scheduler always carries a registry (the /metrics endpoint is part of
 // its API surface), so these handles are never nil.
 type schedMetrics struct {
-	rounds     *metrics.Counter // silod_sched_rounds_total
-	submitted  *metrics.Counter // silod_sched_jobs_submitted_total
-	pushErrors *metrics.Counter // silod_sched_push_errors_total
-	queueDepth *metrics.Gauge   // silod_sched_queue_depth
-	running    *metrics.Gauge   // silod_sched_running_jobs
-	gpusAlloc  *metrics.Gauge   // silod_sched_gpus_allocated
+	rounds         *metrics.Counter // silod_sched_rounds_total
+	submitted      *metrics.Counter // silod_sched_jobs_submitted_total
+	pushErrors     *metrics.Counter // silod_sched_push_errors_total
+	heartbeats     *metrics.Counter // silod_sched_heartbeats_total
+	nodeDeaths     *metrics.Counter // silod_sched_node_deaths_total
+	nodeRecoveries *metrics.Counter // silod_sched_node_recoveries_total
+	preemptions    *metrics.Counter // silod_sched_preemptions_total
+	queueDepth     *metrics.Gauge   // silod_sched_queue_depth
+	running        *metrics.Gauge   // silod_sched_running_jobs
+	gpusAlloc      *metrics.Gauge   // silod_sched_gpus_allocated
+	nodesLive      *metrics.Gauge   // silod_sched_nodes_live
+	effGPUs        *metrics.Gauge   // silod_sched_effective_gpus
+	effCache       *metrics.Gauge   // silod_sched_effective_cache_bytes
 }
 
 func newSchedMetrics(r *metrics.Registry) schedMetrics {
 	return schedMetrics{
-		rounds:     r.Counter("silod_sched_rounds_total"),
-		submitted:  r.Counter("silod_sched_jobs_submitted_total"),
-		pushErrors: r.Counter("silod_sched_push_errors_total"),
-		queueDepth: r.Gauge("silod_sched_queue_depth"),
-		running:    r.Gauge("silod_sched_running_jobs"),
-		gpusAlloc:  r.Gauge("silod_sched_gpus_allocated"),
+		rounds:         r.Counter("silod_sched_rounds_total"),
+		submitted:      r.Counter("silod_sched_jobs_submitted_total"),
+		pushErrors:     r.Counter("silod_sched_push_errors_total"),
+		heartbeats:     r.Counter("silod_sched_heartbeats_total"),
+		nodeDeaths:     r.Counter("silod_sched_node_deaths_total"),
+		nodeRecoveries: r.Counter("silod_sched_node_recoveries_total"),
+		preemptions:    r.Counter("silod_sched_preemptions_total"),
+		queueDepth:     r.Gauge("silod_sched_queue_depth"),
+		running:        r.Gauge("silod_sched_running_jobs"),
+		gpusAlloc:      r.Gauge("silod_sched_gpus_allocated"),
+		nodesLive:      r.Gauge("silod_sched_nodes_live"),
+		effGPUs:        r.Gauge("silod_sched_effective_gpus"),
+		effCache:       r.Gauge("silod_sched_effective_cache_bytes"),
 	}
 }
 

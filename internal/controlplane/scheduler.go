@@ -39,17 +39,39 @@ type schedJob struct {
 	remoteIO  unit.Bandwidth   // guarded by SchedulerServer.mu
 }
 
+// nodeState tracks one heartbeating node's capacity contribution.
+type nodeState struct {
+	gpus     int        // guarded by SchedulerServer.mu
+	cache    unit.Bytes // guarded by SchedulerServer.mu
+	lastSeen time.Time  // guarded by SchedulerServer.mu
+	live     bool       // guarded by SchedulerServer.mu
+}
+
+// DefaultNodeLivenessTimeout is how long a node may go without a
+// heartbeat before the scheduler declares it dead.
+const DefaultNodeLivenessTimeout = 15 * time.Second
+
 // SchedulerServer is the SiloD Scheduler (§6, Figure 7): it extends a
 // compute-only scheduler to joint compute-storage allocation, pushing
 // decisions to the data plane and persisting them as annotations.
+//
+// Nodes may report in via Heartbeat; once any node has registered, the
+// scheduler solves each round against the effective cluster — the live
+// nodes' capacity, clamped to the configured cluster — so a node death
+// shrinks what the policy may grant and jobs running on lost capacity
+// are preempted back to the queue. Deployments that never heartbeat
+// keep the configured cluster unchanged.
 type SchedulerServer struct {
 	mu       sync.Mutex
 	cluster  core.Cluster
 	policy   core.Policy
 	dp       DataPlane
-	jobs     map[string]*schedJob // guarded by mu
-	clock    func() time.Time     // injected; never the package-level time.Now
-	epoch    time.Time            // scheduler start, for Submit timestamps
+	jobs     map[string]*schedJob  // guarded by mu
+	requests map[string]string     // guarded by mu (submit request ID -> job ID)
+	nodes    map[string]*nodeState // guarded by mu
+	liveness time.Duration         // guarded by mu (node liveness timeout)
+	clock    func() time.Time      // injected; never the package-level time.Now
+	epoch    time.Time             // scheduler start, for Submit timestamps
 	mux      *http.ServeMux
 	registry *metrics.Registry
 	met      schedMetrics
@@ -75,6 +97,9 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 		policy:   pol,
 		dp:       dp,
 		jobs:     make(map[string]*schedJob),
+		requests: make(map[string]string),
+		nodes:    make(map[string]*nodeState),
+		liveness: DefaultNodeLivenessTimeout,
 		clock:    clock,
 		epoch:    clock(),
 		mux:      http.NewServeMux(),
@@ -84,6 +109,8 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/progress", s.handleProgress)
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/nodes/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/annotations", s.handleAnnotations)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -111,11 +138,23 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 		return fmt.Errorf("controlplane: job %s has incomplete profile", req.JobID)
 	}
 	s.mu.Lock()
+	if req.RequestID != "" {
+		if prev, seen := s.requests[req.RequestID]; seen {
+			s.mu.Unlock()
+			if prev == req.JobID {
+				return nil // retried submit whose first attempt landed
+			}
+			return fmt.Errorf("controlplane: request %s already created job %s", req.RequestID, prev)
+		}
+	}
 	if _, dup := s.jobs[req.JobID]; dup {
 		s.mu.Unlock()
 		return fmt.Errorf("controlplane: job %s already submitted", req.JobID)
 	}
 	s.jobs[req.JobID] = &schedJob{req: req, submitted: s.clock()}
+	if req.RequestID != "" {
+		s.requests[req.RequestID] = req.JobID
+	}
 	s.mu.Unlock()
 	s.met.submitted.Inc()
 	if err := s.dp.RegisterDataset(req.Dataset, req.DatasetSize, 0); err != nil {
@@ -142,7 +181,152 @@ func (s *SchedulerServer) Progress(req ProgressRequest) error {
 	return nil
 }
 
-// Schedule runs one allocation round and pushes it to the data plane.
+// SetNodeLivenessTimeout changes how long a node may stay silent before
+// being declared dead. Call before serving traffic (or between rounds).
+func (s *SchedulerServer) SetNodeLivenessTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultNodeLivenessTimeout
+	}
+	s.mu.Lock()
+	s.liveness = d
+	s.mu.Unlock()
+}
+
+// Heartbeat registers or refreshes a node's capacity contribution. A
+// node returning from the dead triggers an immediate re-push of the
+// current allocations to the data plane, so a data manager that lost
+// state with the node converges without waiting for the next round.
+func (s *SchedulerServer) Heartbeat(req HeartbeatRequest) error {
+	if req.Node == "" {
+		return fmt.Errorf("controlplane: heartbeat needs a node name")
+	}
+	if req.GPUs < 0 || req.Cache < 0 {
+		return fmt.Errorf("controlplane: node %s heartbeats negative capacity", req.Node)
+	}
+	s.mu.Lock()
+	n, known := s.nodes[req.Node]
+	if !known {
+		n = &nodeState{}
+		s.nodes[req.Node] = n
+	}
+	revived := known && !n.live
+	n.gpus = req.GPUs
+	n.cache = req.Cache
+	n.lastSeen = s.clock()
+	n.live = true
+	var quotas map[string]unit.Bytes
+	var remote map[string]unit.Bandwidth
+	if revived {
+		s.met.nodeRecoveries.Inc()
+		quotas, remote = s.allocationsLocked()
+	}
+	s.updateNodeGaugesLocked()
+	s.mu.Unlock()
+	s.met.heartbeats.Inc()
+	for ds, q := range quotas {
+		if err := s.dp.AllocateCacheSize(ds, q); err != nil {
+			s.met.pushErrors.Inc()
+			return err
+		}
+	}
+	for id, bw := range remote {
+		if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
+			s.met.pushErrors.Inc()
+			return err
+		}
+	}
+	return nil
+}
+
+// Nodes lists the known nodes, sorted by name.
+func (s *SchedulerServer) Nodes() []NodeStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NodeStatus, 0, len(s.nodes))
+	for name, n := range s.nodes {
+		out = append(out, NodeStatus{
+			Node:            name,
+			GPUs:            n.gpus,
+			Cache:           n.cache,
+			LastSeenSeconds: n.lastSeen.Sub(s.epoch).Seconds(),
+			Live:            n.live,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Node < out[k].Node })
+	return out
+}
+
+// refreshLivenessLocked expires nodes whose last heartbeat is older than
+// the liveness timeout. The caller holds s.mu.
+func (s *SchedulerServer) refreshLivenessLocked(now time.Time) {
+	for _, n := range s.nodes {
+		if n.live && now.Sub(n.lastSeen) > s.liveness {
+			n.live = false
+			s.met.nodeDeaths.Inc()
+		}
+	}
+}
+
+// effectiveClusterLocked is the capacity the policy may grant: the
+// configured cluster when no node has ever registered (static
+// deployments), otherwise the live nodes' total clamped to the
+// configured cluster. Remote IO is a storage-fabric property, not a
+// node property, so it stays configured. The caller holds s.mu.
+func (s *SchedulerServer) effectiveClusterLocked() core.Cluster {
+	eff := s.cluster
+	if len(s.nodes) == 0 {
+		return eff
+	}
+	gpus := 0
+	var cache unit.Bytes
+	for _, n := range s.nodes {
+		if n.live {
+			gpus += n.gpus
+			cache += n.cache
+		}
+	}
+	if gpus < eff.GPUs {
+		eff.GPUs = gpus
+	}
+	if cache < eff.Cache {
+		eff.Cache = cache
+	}
+	return eff
+}
+
+// allocationsLocked snapshots the live jobs' persisted allocations (the
+// annotation state) for re-pushing. The caller holds s.mu.
+func (s *SchedulerServer) allocationsLocked() (map[string]unit.Bytes, map[string]unit.Bandwidth) {
+	quotas := make(map[string]unit.Bytes)
+	remote := make(map[string]unit.Bandwidth)
+	for id, j := range s.jobs {
+		if j.done {
+			continue
+		}
+		quotas[j.req.Dataset] = j.quota
+		remote[id] = j.remoteIO
+	}
+	return quotas, remote
+}
+
+// updateNodeGaugesLocked refreshes the node-liveness gauges. The caller
+// holds s.mu.
+func (s *SchedulerServer) updateNodeGaugesLocked() {
+	live := 0
+	for _, n := range s.nodes {
+		if n.live {
+			live++
+		}
+	}
+	eff := s.effectiveClusterLocked()
+	s.met.nodesLive.Set(float64(live))
+	s.met.effGPUs.Set(float64(eff.GPUs))
+	s.met.effCache.Set(float64(eff.Cache))
+}
+
+// Schedule runs one allocation round against the effective cluster and
+// pushes the result to the data plane. Jobs running on capacity that
+// died since the last round lose their GPUs and rejoin the queue.
 func (s *SchedulerServer) Schedule() error {
 	s.mu.Lock()
 	views := make([]core.JobView, 0, len(s.jobs))
@@ -174,9 +358,36 @@ func (s *SchedulerServer) Schedule() error {
 		})
 	}
 	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
-	now := unit.Time(s.clock().Sub(s.epoch).Seconds())
-	a := s.policy.Assign(s.cluster, now, views)
-	if err := a.Validate(s.cluster, views); err != nil {
+	wall := s.clock()
+	s.refreshLivenessLocked(wall)
+	eff := s.effectiveClusterLocked()
+	s.updateNodeGaugesLocked()
+	if eff.GPUs <= 0 {
+		// Total compute loss: nothing can run. Preempt everything back to
+		// the queue and skip the policy round (policies assume GPUs > 0);
+		// allocations resume once a node heartbeats again.
+		var queued int
+		for _, j := range s.jobs {
+			if j.done {
+				continue
+			}
+			if j.running {
+				j.running = false
+				j.gpus = 0
+				s.met.preemptions.Inc()
+			}
+			queued++
+		}
+		s.met.rounds.Inc()
+		s.met.running.Set(0)
+		s.met.gpusAlloc.Set(0)
+		s.met.queueDepth.Set(float64(queued))
+		s.mu.Unlock()
+		return nil
+	}
+	now := unit.Time(wall.Sub(s.epoch).Seconds())
+	a := s.policy.Assign(eff, now, views)
+	if err := a.Validate(eff, views); err != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("controlplane: policy %s: %w", s.policy.Name(), err)
 	}
@@ -184,11 +395,26 @@ func (s *SchedulerServer) Schedule() error {
 		byID[v.ID] = s.jobs[v.ID]
 	}
 	var runningJobs, gpusAlloc, queued int
+	// Every known job gets an explicit entry — a job the policy dropped
+	// (preempted after a node loss) must release its data-plane
+	// allocation, not silently keep it.
+	oldRemote := make(map[string]unit.Bandwidth, len(byID))
+	oldQuota := make(map[string]unit.Bytes, len(byID))
+	quotas := make(map[string]unit.Bytes, len(byID))
+	remote := make(map[string]unit.Bandwidth, len(byID))
 	for id, j := range byID {
+		was := j.running
+		oldRemote[id] = j.remoteIO
+		oldQuota[j.req.Dataset] = j.quota
 		j.gpus = a.GPUs[id]
 		j.running = j.gpus > 0
+		if was && !j.running {
+			s.met.preemptions.Inc()
+		}
 		j.remoteIO = a.RemoteIO[id]
 		j.quota = a.CacheQuota[j.req.Dataset]
+		remote[id] = j.remoteIO
+		quotas[j.req.Dataset] = j.quota
 		if j.running {
 			runningJobs++
 			gpusAlloc += j.gpus
@@ -200,30 +426,46 @@ func (s *SchedulerServer) Schedule() error {
 	s.met.running.Set(float64(runningJobs))
 	s.met.gpusAlloc.Set(float64(gpusAlloc))
 	s.met.queueDepth.Set(float64(queued))
-	quotas := make(map[string]unit.Bytes, len(a.CacheQuota))
-	for k, v := range a.CacheQuota {
-		quotas[k] = v
-	}
-	remote := make(map[string]unit.Bandwidth, len(a.RemoteIO))
-	for k, v := range a.RemoteIO {
-		remote[k] = v
-	}
 	s.mu.Unlock()
 
-	// Push to the data plane outside the lock.
-	for ds, q := range quotas {
-		if err := s.dp.AllocateCacheSize(ds, q); err != nil {
-			s.met.pushErrors.Inc()
-			return err
+	// Push to the data plane outside the lock, decreases before raises:
+	// the ledger and cache pool enforce capacity on every call, so a
+	// raise issued while a shrunken job's old allocation is still booked
+	// would be rejected as oversubscription.
+	push := func(grow bool) error {
+		for _, ds := range sortedKeys(quotas) {
+			if q := quotas[ds]; (q > oldQuota[ds]) == grow {
+				if err := s.dp.AllocateCacheSize(ds, q); err != nil {
+					s.met.pushErrors.Inc()
+					return err
+				}
+			}
 		}
-	}
-	for id, bw := range remote {
-		if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
-			s.met.pushErrors.Inc()
-			return err
+		for _, id := range sortedKeys(remote) {
+			if bw := remote[id]; (bw > oldRemote[id]) == grow {
+				if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
+					s.met.pushErrors.Inc()
+					return err
+				}
+			}
 		}
+		return nil
 	}
-	return nil
+	if err := push(false); err != nil {
+		return err
+	}
+	return push(true)
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic
+// data-plane push sequences.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Annotations returns the persisted allocation state for recovery.
@@ -325,6 +567,23 @@ func (s *SchedulerServer) handleSchedule(w http.ResponseWriter, _ *http.Request)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "scheduled"})
+}
+
+func (s *SchedulerServer) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Heartbeat(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"node": req.Node})
+}
+
+func (s *SchedulerServer) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Nodes())
 }
 
 func (s *SchedulerServer) handleListJobs(w http.ResponseWriter, _ *http.Request) {

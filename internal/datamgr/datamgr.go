@@ -150,6 +150,59 @@ func (m *Manager) AllocateRemoteIO(jobID string, speed unit.Bandwidth) error {
 	return nil
 }
 
+// ResizeCache applies a cache-capacity fault (or recovery) to the live
+// pool: evictFraction of every dataset's cached blocks are invalidated
+// uniformly at random (the contents of the failed node) and the pool
+// capacity becomes newCapacity. Jobs in flight simply start missing on
+// the invalidated blocks — cache is a performance resource, never a
+// correctness one (§6), so no job observes an error.
+func (m *Manager) ResizeCache(newCapacity unit.Bytes, evictFraction float64) {
+	// The pool has its own lock; taking m.mu too keeps the resize
+	// atomic with respect to allocation calls.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pool.EvictFraction(evictFraction)
+	m.pool.Resize(newCapacity)
+	// Re-derive the epoch-start snapshots from the shrunken contents:
+	// the snapshot promised hits this epoch, but the blocks backing that
+	// promise may just have died with the node. Leaving it stale would
+	// tell the scheduler the job needs no remote IO while every read
+	// misses.
+	for _, js := range m.jobs {
+		if live := m.pool.CachedBlocks(js.dataset); js.effectiveBlocks > live {
+			js.effectiveBlocks = live
+		}
+	}
+}
+
+// ResizeEgress applies a remote-IO bandwidth fault (or recovery): the
+// ledger capacity changes, oversubscribed allocations are scaled down
+// proportionally, and every affected job's token bucket is re-throttled
+// to its new rate mid-flight.
+func (m *Manager) ResizeEgress(newCapacity unit.Bandwidth) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, bw := range m.ledger.Resize(newCapacity) {
+		if js, ok := m.jobs[id]; ok {
+			js.bucket.SetRate(bw)
+		}
+	}
+}
+
+// CacheCapacity reports the pool's current capacity.
+func (m *Manager) CacheCapacity() unit.Bytes {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pool.Capacity()
+}
+
+// EgressCapacity reports the ledger's current egress capacity.
+func (m *Manager) EgressCapacity() unit.Bandwidth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ledger.Capacity()
+}
+
 // ReadResult describes one block read.
 type ReadResult struct {
 	Hit bool

@@ -93,6 +93,16 @@ func (s *EpochStream) Next() (int, bool) {
 // Epoch implements Stream.
 func (s *EpochStream) Epoch() int { return s.epoch }
 
+// RestartEpoch rewinds the stream to the start of the current epoch
+// with a fresh shuffle — the crash-recovery path: a restarted job
+// replays its current epoch from scratch (epoch-granular rollback),
+// and a real loader would draw a new permutation. The epoch counter
+// does not advance.
+func (s *EpochStream) RestartEpoch() {
+	s.perm = s.rng.Perm(s.blocks.Num)
+	s.pos = 0
+}
+
 // StepsPerEpoch reports the accesses per epoch.
 func (s *EpochStream) StepsPerEpoch() int { return s.blocks.Num }
 

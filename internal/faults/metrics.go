@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"repro/internal/metrics"
+)
+
+// Metrics is the chaos instrumentation: per-kind injection counters,
+// recovery and fault-preemption totals, and gauges for the capacity
+// currently lost and the virtual time spent degraded. All handles are
+// nil-safe (a nil registry costs nothing).
+type Metrics struct {
+	Injected    map[Kind]*metrics.Counter // silod_faults_injected_total{kind=...}
+	Recoveries  *metrics.Counter          // silod_faults_recoveries_total
+	Preemptions *metrics.Counter          // silod_faults_preemptions_total
+
+	GPUsLost     *metrics.Gauge // silod_faults_gpus_lost
+	CacheLost    *metrics.Gauge // silod_faults_cache_lost_bytes
+	IOLost       *metrics.Gauge // silod_faults_io_lost_bytes_per_sec
+	Degraded     *metrics.Gauge // silod_faults_degraded (0/1)
+	TimeDegraded *metrics.Gauge // silod_faults_time_degraded_seconds (virtual time)
+}
+
+// NewMetrics interns the fault metric family. Every kind's counter is
+// interned up front so the snapshot shape is identical whether or not a
+// given fault fired — a requirement for byte-identical chaos runs.
+func NewMetrics(r *metrics.Registry) Metrics {
+	m := Metrics{
+		Injected:     make(map[Kind]*metrics.Counter, len(Kinds())),
+		Recoveries:   r.Counter("silod_faults_recoveries_total"),
+		Preemptions:  r.Counter("silod_faults_preemptions_total"),
+		GPUsLost:     r.Gauge("silod_faults_gpus_lost"),
+		CacheLost:    r.Gauge("silod_faults_cache_lost_bytes"),
+		IOLost:       r.Gauge("silod_faults_io_lost_bytes_per_sec"),
+		Degraded:     r.Gauge("silod_faults_degraded"),
+		TimeDegraded: r.Gauge("silod_faults_time_degraded_seconds"),
+	}
+	for _, k := range Kinds() {
+		m.Injected[k] = r.Counter("silod_faults_injected_total", metrics.L("kind", string(k)))
+	}
+	return m
+}
+
+// publish refreshes the gauges from the injector's current state.
+func (m Metrics) publish(in *Injector) {
+	m.GPUsLost.Set(float64(in.lostGPUs))
+	m.CacheLost.Set(float64(in.lostCache))
+	m.IOLost.Set(float64(in.lostIO))
+	if in.Degraded() {
+		m.Degraded.Set(1)
+	} else {
+		m.Degraded.Set(0)
+	}
+	m.TimeDegraded.Set(in.timeDegraded.Seconds())
+}

@@ -17,9 +17,9 @@ import (
 // bytes.Buffer (documented to never return errors).
 //
 // Separately, `panic` is banned in packages the daemon's request path
-// reaches (controlplane, datamgr, remoteio, cache, metrics, testbed):
-// a panic there takes down the scheduler for every job, so those
-// layers must return errors instead.
+// reaches (controlplane, datamgr, remoteio, cache, metrics, testbed,
+// faults): a panic there takes down the scheduler for every job, so
+// those layers must return errors instead.
 var Errflow = &Analyzer{
 	Name: "errflow",
 	Doc:  "no discarded error returns, and no panic in daemon-reachable packages",
@@ -35,6 +35,7 @@ var daemonPkgs = []string{
 	"internal/cache",
 	"internal/metrics",
 	"internal/testbed",
+	"internal/faults",
 }
 
 func runErrflow(p *Pass) {

@@ -11,6 +11,7 @@ var wallclockPkgs = []string{
 	"internal/cache",
 	"internal/estimator",
 	"internal/controlplane",
+	"internal/faults",
 }
 
 // wallclockBanned are the time-package functions that read or block on
@@ -33,8 +34,8 @@ var wallclockBanned = map[string]string{
 var Wallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "bans time.Now/Sleep/Since/Until/Tick in virtual-time packages " +
-		"(internal/{sim,eventq,cache,estimator,controlplane}); time must " +
-		"come from an injected clock so simulations stay bit-deterministic",
+		"(internal/{sim,eventq,cache,estimator,controlplane,faults}); time " +
+		"must come from an injected clock so simulations stay bit-deterministic",
 	Run: runWallclock,
 }
 

@@ -14,6 +14,8 @@ const (
 	EventIOAlloc    EventKind = "io_alloc"    // remote IO rate set (Value = bytes/sec)
 	EventEpoch      EventKind = "epoch"       // job crossed an epoch boundary
 	EventComplete   EventKind = "complete"    // job finished (Value = JCT seconds)
+	EventFault      EventKind = "fault"       // capacity lost or job crashed (Detail = kind)
+	EventRecover    EventKind = "recover"     // lost capacity restored (Detail = kind)
 )
 
 // Event is one timeline entry. T is *virtual* time in seconds — the

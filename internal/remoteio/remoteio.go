@@ -20,11 +20,10 @@ import (
 // enforces; the ledger validates they never oversubscribe capacity.
 // All methods are safe for concurrent use.
 type Ledger struct {
-	capacity unit.Bandwidth // immutable after construction
-
-	mu    sync.Mutex
-	alloc map[string]unit.Bandwidth // guarded by mu
-	met   LedgerMetrics             // guarded by mu
+	mu       sync.Mutex
+	capacity unit.Bandwidth            // guarded by mu (degrades on egress faults)
+	alloc    map[string]unit.Bandwidth // guarded by mu
+	met      LedgerMetrics             // guarded by mu
 }
 
 // NewLedger returns an empty ledger with the given egress capacity.
@@ -33,7 +32,42 @@ func NewLedger(capacity unit.Bandwidth) *Ledger {
 }
 
 // Capacity reports the total egress capacity.
-func (l *Ledger) Capacity() unit.Bandwidth { return l.capacity }
+func (l *Ledger) Capacity() unit.Bandwidth {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capacity
+}
+
+// Resize changes the egress capacity — a link degradation or
+// restoration. If existing allocations oversubscribe the new capacity
+// they are scaled down proportionally (every job keeps its relative
+// share of the shrunken link). The returned map holds the new rate of
+// every job whose allocation changed, so callers can re-throttle the
+// matching token buckets.
+func (l *Ledger) Resize(capacity unit.Bandwidth) map[string]unit.Bandwidth {
+	if capacity < 0 {
+		capacity = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.capacity = capacity
+	total := l.allocatedLocked()
+	if float64(total) <= float64(capacity) {
+		return nil
+	}
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(capacity) / float64(total)
+	}
+	changed := make(map[string]unit.Bandwidth, len(l.alloc))
+	for id, bw := range l.alloc {
+		nbw := unit.Bandwidth(float64(bw) * ratio)
+		l.alloc[id] = nbw
+		changed[id] = nbw
+	}
+	l.publishLocked()
+	return changed
+}
 
 // Set assigns bw to jobID. An over-subscribing assignment is rejected
 // so scheduler bugs surface immediately instead of as silent slowdowns.
@@ -87,7 +121,9 @@ func (l *Ledger) allocatedLocked() unit.Bandwidth {
 
 // Free reports the unallocated capacity (never negative).
 func (l *Ledger) Free() unit.Bandwidth {
-	f := l.capacity - l.Allocated()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f := l.capacity - l.allocatedLocked()
 	if f < 0 {
 		return 0
 	}

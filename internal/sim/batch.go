@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eventq"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/remoteio"
 	"repro/internal/simrng"
@@ -30,6 +31,9 @@ type batchJob struct {
 
 	blocksTotal int64 // total blocks to train through
 	blocksDone  int64
+	// doneAtEpoch is the issued-block count when the current epoch
+	// began — the checkpoint a fault-driven rollback rewinds to.
+	doneAtEpoch int64
 	// effBytes is the cache snapshot at the job's current epoch start:
 	// the effective cache (§6) used for demand sizing.
 	effBytes unit.Bytes
@@ -63,6 +67,13 @@ type batchSim struct {
 	byID  map[string]*jobRT
 	bjobs map[string]*batchJob
 	rng   *simrng.RNG
+
+	// inj replays the fault schedule; eff is the degraded capacity every
+	// scheduling decision uses instead of cfg.Cluster. faultPreempt
+	// marks the next round as fault-driven (stopped jobs roll back).
+	inj          *faults.Injector
+	eff          core.Cluster
+	faultPreempt bool
 
 	res        *Result
 	series     map[string]*stats.Series
@@ -152,6 +163,24 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		s.q.Schedule(submit, func() { s.reschedule() })
 	}
 	s.met.submitAll(s.jobs)
+	inj, err := faults.NewInjector(cfg.Cluster, cfg.Faults, cfg.Metrics, cfg.Timeline)
+	if err != nil {
+		return nil, err
+	}
+	s.inj = inj
+	s.eff = inj.Effective()
+	if cfg.Faults != nil {
+		// One queue event per distinct fault time; the injector drains
+		// every event due at that instant (FIFO within ties).
+		seen := make(map[float64]bool, len(cfg.Faults.Events))
+		for _, ev := range cfg.Faults.Events {
+			at := float64(ev.At)
+			if !seen[at] {
+				seen[at] = true
+				s.q.Schedule(at, func() { s.onFault() })
+			}
+		}
+	}
 	s.res = &Result{Timelines: s.series}
 	// Periodic rescheduling ticks are (re)armed by reschedule itself.
 	total := len(s.jobs)
@@ -169,6 +198,7 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 				s.finished, total, s.describeStuck())
 		}
 	}
+	s.inj.Finish(unit.Time(s.q.Now()))
 	s.sample(true)
 	s.res.Makespan = s.lastFinish.Sub(0)
 	sort.Slice(s.res.Jobs, func(i, j int) bool { return s.res.Jobs[i].ID < s.res.Jobs[j].ID })
@@ -237,8 +267,10 @@ func (s *batchSim) reschedule() {
 		views[i].EffectiveCached = eff
 		views[i].CachedBytes = cached
 	}
-	a := s.cfg.Policy.Assign(s.cfg.Cluster, now, views)
-	if err := a.Validate(s.cfg.Cluster, views); err != nil {
+	// Solve and validate against the *effective* capacity so a
+	// post-fault re-solve cannot over-grant GPUs, cache, or bandwidth.
+	a := s.cfg.Policy.Assign(s.eff, now, views)
+	if err := a.Validate(s.eff, views); err != nil {
 		panic(fmt.Sprintf("sim(batch): invalid assignment at t=%v from %s: %v", now, s.cfg.Policy.Name(), err))
 	}
 	// Apply cache quotas and IO allocations BEFORE (re)starting any
@@ -247,9 +279,15 @@ func (s *batchSim) reschedule() {
 	// rejected from the cache and paid for again next epoch.
 	s.met.reschedules.Inc()
 	if qp, ok := s.pool.(*cache.QuotaPool); ok {
-		mentioned := make(map[string]bool, len(a.CacheQuota))
-		for key, q := range a.CacheQuota {
-			mentioned[key] = true
+		// Sorted key order: quota changes land on the event timeline,
+		// and map-iteration order would leak into the dump.
+		keys := make([]string, 0, len(a.CacheQuota))
+		for key := range a.CacheQuota {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			q := a.CacheQuota[key]
 			if q.Changed(qp.Quota(key)) {
 				s.met.tl.RecordAt(s.q.Now(), metrics.EventCacheAlloc, key, float64(q), "quota_bytes")
 			}
@@ -258,7 +296,7 @@ func (s *batchSim) reschedule() {
 			}
 		}
 		for _, key := range qp.Keys() {
-			if !mentioned[key] {
+			if _, ok := a.CacheQuota[key]; !ok {
 				if err := qp.SetQuota(key, 0); err != nil {
 					panic(fmt.Sprintf("sim(batch): %v", err))
 				}
@@ -286,13 +324,116 @@ func (s *batchSim) reschedule() {
 			s.kick(s.bjobs[j.spec.ID])
 		}
 		if !j.running && wasRunning {
-			s.pause(s.bjobs[j.spec.ID])
+			bj := s.bjobs[j.spec.ID]
+			s.pause(bj)
+			if s.faultPreempt {
+				// Fault-driven preemption: the node (and the epoch's
+				// uncheckpointed progress) is gone.
+				s.rollback(bj)
+				s.inj.CountPreemptions(1)
+			}
 		}
 	}
+	s.faultPreempt = false
 	s.refreshRates()
 	s.sample(false)
 	// Re-arm the tick.
 	s.q.After(float64(s.cfg.ReschedInterval), func() { s.reschedule() })
+}
+
+// onFault drains the injector's due events into batch state, then runs
+// a scheduling round against the degraded (or recovered) capacity.
+func (s *batchSim) onFault() {
+	now := unit.Time(s.q.Now())
+	applied := false
+	for {
+		before := s.inj.Effective()
+		ev, ok := s.inj.Next(now)
+		if !ok {
+			break
+		}
+		applied = true
+		s.eff = s.inj.Effective()
+		switch ev.Kind {
+		case faults.KindGPULoss:
+			s.faultPreempt = true
+		case faults.KindCacheLoss:
+			// The failed cache node held a uniform share of the pool's
+			// blocks: invalidate that fraction, then shrink capacity so
+			// admissions respect the surviving nodes. Hit ratios
+			// re-derive from the shrunken pool on the next access.
+			frac := 0.0
+			if before.Cache > 0 {
+				frac = 1 - float64(s.eff.Cache)/float64(before.Cache)
+			}
+			s.pool.EvictFraction(frac)
+			s.pool.Resize(s.eff.Cache)
+		case faults.KindCacheRestore:
+			// Capacity returns empty; jobs re-warm it.
+			s.pool.Resize(s.eff.Cache)
+		case faults.KindJobCrash:
+			if bj, ok := s.bjobs[ev.Job]; ok {
+				s.crash(bj)
+			}
+		}
+		// IO kinds need no pool surgery: the new effective capacity
+		// re-throttles every in-flight fetch via the round below.
+	}
+	if applied {
+		s.reschedule()
+	}
+}
+
+// crash kills one job's execution: it loses its GPUs and its current
+// epoch's progress, then re-enters the queue (the scheduler restarts it
+// on a later round). The cache survives — it lives on other nodes (§6).
+func (s *batchSim) crash(bj *batchJob) {
+	j := bj.rt
+	if j.done || !j.started {
+		return
+	}
+	if j.running {
+		s.pause(bj)
+		j.running = false
+		j.gpus = 0
+		s.met.preemptions.Inc()
+		s.met.tl.RecordAt(s.q.Now(), metrics.EventPreempt, j.spec.ID, 0, "crash")
+		s.inj.CountPreemptions(1)
+	}
+	s.rollback(bj)
+}
+
+// rollback discards the current epoch's partial progress: the pipeline
+// is drained, blocksDone rewinds to the epoch-start checkpoint, and the
+// stream replays the epoch with a fresh shuffle (a restarted loader
+// draws a new permutation). Curriculum jobs have no epoch concept and
+// resume at their current pacing position — nothing to roll back.
+func (s *batchSim) rollback(bj *batchJob) {
+	es, ok := bj.stream.(*dataset.EpochStream)
+	if !ok {
+		return
+	}
+	if bj.fetchEvent != nil {
+		s.q.Cancel(bj.fetchEvent)
+		bj.fetchEvent = nil
+		bj.fetchLeft = 0
+	}
+	if bj.computeEvent != nil {
+		s.q.Cancel(bj.computeEvent)
+		bj.computeEvent = nil
+		bj.computing = false
+	}
+	bj.prefetch = 0
+	es.RestartEpoch()
+	bj.blocksDone = bj.doneAtEpoch
+	bj.issued = bj.doneAtEpoch
+	trained := unit.Bytes(bj.blocksDone) * s.cfg.BlockSize
+	total := bj.rt.spec.TotalBytes()
+	if trained > total {
+		trained = total
+	}
+	bj.rt.remaining = total - trained
+	bj.rt.attained = trained
 }
 
 // observedHit estimates a running job's hit ratio from its effective
@@ -356,7 +497,7 @@ func (s *batchSim) grants(running []*jobRT, hits []float64) []unit.Bandwidth {
 		for i, j := range running {
 			ds[i] = remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(demands[i])}
 		}
-		share := remoteio.EqualShare(s.cfg.Cluster.RemoteIO, ds)
+		share := remoteio.EqualShare(s.eff.RemoteIO, ds)
 		for i, j := range running {
 			out[i] = share[j.spec.ID]
 		}
@@ -365,7 +506,7 @@ func (s *batchSim) grants(running []*jobRT, hits []float64) []unit.Bandwidth {
 	if s.cfg.DisableWorkConserving {
 		return out
 	}
-	leftover := float64(s.cfg.Cluster.RemoteIO) - allocated
+	leftover := float64(s.eff.RemoteIO) - allocated
 	if leftover <= 0 {
 		return out
 	}
@@ -470,6 +611,7 @@ func (s *batchSim) fillLoader(bj *batchJob) {
 		blk, newEpoch := bj.stream.Next()
 		if newEpoch {
 			bj.effBytes = s.pool.CachedBytes(bj.rt.dsKey)
+			bj.doneAtEpoch = bj.issued
 			bj.epochs++
 			s.met.tl.RecordAt(s.q.Now(), metrics.EventEpoch, bj.rt.spec.ID,
 				float64(bj.epochs), "epochs_started")
@@ -588,8 +730,8 @@ func (s *batchSim) sample(force bool) {
 	s.series["throughput"].Append(t, tput)
 	s.series["ideal"].Append(t, ideal)
 	s.series["remoteio"].Append(t, rio)
-	s.met.utilization(running, rio, s.cfg.Cluster.RemoteIO)
-	s.series["fairness"].Append(t, fairnessRatio(s.cfg.Cluster, running, func(j *jobRT) unit.Bandwidth {
+	s.met.utilization(running, rio, s.eff.RemoteIO)
+	s.series["fairness"].Append(t, fairnessRatio(s.eff, running, func(j *jobRT) unit.Bandwidth {
 		// Instantaneous estimate from pool state and current rate.
 		h := s.observedHit(j)
 		miss := 1 - h

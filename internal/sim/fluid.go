@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/remoteio"
 	"repro/internal/stats"
@@ -35,6 +36,14 @@ type fluidSim struct {
 	byID     map[string]*jobRT
 	datasets map[string]*dsRT
 	epochIdx map[string]int // job -> completed-epoch count
+
+	// inj replays the fault schedule; eff is the current degraded
+	// capacity every scheduling decision uses instead of cfg.Cluster.
+	inj *faults.Injector
+	eff core.Cluster
+	// faultPreempt marks the next scheduling round as fault-driven:
+	// jobs it stops lost their node, so their epoch progress rolls back.
+	faultPreempt bool
 
 	now        unit.Time
 	nextArrive int
@@ -90,6 +99,12 @@ func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	s.met = newSimMetrics(cfg)
 	s.met.submitAll(s.jobs)
+	inj, err := faults.NewInjector(cfg.Cluster, cfg.Faults, cfg.Metrics, cfg.Timeline)
+	if err != nil {
+		return nil, err
+	}
+	s.inj = inj
+	s.eff = inj.Effective()
 	s.res = &Result{Timelines: s.series}
 	if cfg.Servers > 0 {
 		pl, err := cluster.New(cfg.Servers, cfg.GPUsPerServer, unit.Bytes(float64(cfg.Cluster.Cache)/float64(cfg.Servers)))
@@ -146,8 +161,11 @@ func (s *fluidSim) reschedule() error {
 		views[i] = j.view()
 		views[i].CachedBytes = minBytes(s.ds(j).cached, j.spec.Dataset.Size)
 	}
-	a := s.cfg.Policy.Assign(s.cfg.Cluster, s.now, views)
-	if err := a.Validate(s.cfg.Cluster, views); err != nil {
+	// The policy solves against the *effective* capacity: after a fault
+	// the re-solve must not over-grant GPUs, cache, or bandwidth, and
+	// Assignment validation enforces it against the same view.
+	a := s.cfg.Policy.Assign(s.eff, s.now, views)
+	if err := a.Validate(s.eff, views); err != nil {
 		return fmt.Errorf("sim: at t=%v policy %s produced invalid assignment: %w",
 			s.now, s.cfg.Policy.Name(), err)
 	}
@@ -159,6 +177,12 @@ func (s *fluidSim) reschedule() error {
 		j.gpus = g
 		j.running = g > 0
 		s.met.transition(s.now, j, wasRunning)
+		if !j.running && wasRunning && s.faultPreempt {
+			// Fault-driven preemption: the node (and the epoch's
+			// uncheckpointed progress) is gone.
+			j.rollbackEpoch()
+			s.inj.CountPreemptions(1)
+		}
 		if j.running && !j.started {
 			j.started = true
 			j.start = s.now
@@ -183,18 +207,28 @@ func (s *fluidSim) reschedule() error {
 		}
 	}
 	// Cache quotas (quota-based systems only; LRU manages itself).
+	// Apply in sorted key order: quota changes land on the event
+	// timeline, and map-iteration order would leak into the dump.
 	if !s.cfg.System.UsesLRU() {
-		mentioned := make(map[string]bool, len(a.CacheQuota))
-		for key, q := range a.CacheQuota {
-			mentioned[key] = true
-			s.applyQuota(key, q)
+		keys := make([]string, 0, len(a.CacheQuota))
+		for key := range a.CacheQuota {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			s.applyQuota(key, a.CacheQuota[key])
 		}
 		// Keys not mentioned lose their allocation: the data manager
 		// evicts datasets the scheduler no longer funds.
+		unfunded := make([]string, 0, len(s.datasets))
 		for key := range s.datasets {
-			if !mentioned[key] {
-				s.applyQuota(key, 0)
+			if _, ok := a.CacheQuota[key]; !ok {
+				unfunded = append(unfunded, key)
 			}
+		}
+		sort.Strings(unfunded)
+		for _, key := range unfunded {
+			s.applyQuota(key, 0)
 		}
 	}
 	// Remote IO allocations.
@@ -205,7 +239,64 @@ func (s *fluidSim) reschedule() error {
 		}
 		j.remoteIO = bw
 	}
+	s.faultPreempt = false
 	return nil
+}
+
+// applyFaults drains the injector's due events into fluid state. Each
+// batch lands immediately before a scheduling round, so the policy
+// re-solves against the degraded (or recovered) capacity.
+func (s *fluidSim) applyFaults() {
+	for {
+		before := s.inj.Effective()
+		ev, ok := s.inj.Next(s.now)
+		if !ok {
+			return
+		}
+		s.events++
+		s.eff = s.inj.Effective()
+		switch ev.Kind {
+		case faults.KindGPULoss:
+			// The next round re-solves with fewer GPUs; whoever it
+			// stops was on the lost node and rolls back an epoch.
+			s.faultPreempt = true
+		case faults.KindCacheLoss:
+			// The failed cache node held a uniform share of every
+			// dataset's blocks: contents and effective snapshots scale
+			// by the survival ratio, and hit ratios re-derive from the
+			// shrunken snapshot on the next rate computation.
+			ratio := 0.0
+			if before.Cache > 0 {
+				ratio = float64(s.eff.Cache) / float64(before.Cache)
+			}
+			for _, d := range s.datasets {
+				d.cached = unit.Bytes(float64(d.cached) * ratio)
+			}
+			for _, j := range s.jobs {
+				if !j.done {
+					j.effCached = unit.Bytes(float64(j.effCached) * ratio)
+				}
+			}
+		case faults.KindJobCrash:
+			j, ok := s.byID[ev.Job]
+			if !ok || j.done || !j.started {
+				break
+			}
+			if j.running {
+				j.running = false
+				j.gpus = 0
+				s.met.preemptions.Inc()
+				s.met.tl.RecordAt(float64(s.now), metrics.EventPreempt, j.spec.ID, 0, "crash")
+				s.inj.CountPreemptions(1)
+				if s.placement != nil {
+					s.placement.Release(j.spec.ID)
+				}
+			}
+			// The restarted process replays its epoch from the last
+			// boundary; the cache survives the crash (§6).
+			j.rollbackEpoch()
+		}
+	}
 }
 
 // applyQuota sets a key's quota, evicting proportionally on shrink
@@ -308,7 +399,7 @@ func (s *fluidSim) lruHits(running []*jobRT, hits []float64) {
 		for i, k := range keys {
 			streams[i] = *agg[k]
 		}
-		hitByKey := cache.CheLRU(s.cfg.Cluster.Cache, streams)
+		hitByKey := cache.CheLRU(s.eff.Cache, streams)
 		for i, j := range running {
 			idx := sort.SearchStrings(keys, j.dsKey)
 			h := hitByKey[idx]
@@ -346,7 +437,7 @@ func (s *fluidSim) bandwidthGrants(running []*jobRT, hits []float64) []unit.Band
 			anyAlloc = true
 		}
 	}
-	capTotal := float64(s.cfg.Cluster.RemoteIO)
+	capTotal := float64(s.eff.RemoteIO)
 	if !anyAlloc || s.cfg.DisableIOControl {
 		// Provider-controlled static fair share: equal egress split per
 		// running job, capped at demand, with no redistribution of the
@@ -356,7 +447,7 @@ func (s *fluidSim) bandwidthGrants(running []*jobRT, hits []float64) []unit.Band
 		for i, j := range running {
 			ds[i] = remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(demands[i])}
 		}
-		share := remoteio.EqualShare(s.cfg.Cluster.RemoteIO, ds)
+		share := remoteio.EqualShare(s.eff.RemoteIO, ds)
 		for i, j := range running {
 			grants[i] = share[j.spec.ID]
 		}
@@ -404,7 +495,7 @@ func (s *fluidSim) sample(running []*jobRT, hits []float64, rates, grants []unit
 	s.series["throughput"].Append(t, tput)
 	s.series["ideal"].Append(t, ideal)
 	s.series["remoteio"].Append(t, rio)
-	s.met.utilization(running, rio, s.cfg.Cluster.RemoteIO)
+	s.met.utilization(running, rio, s.eff.RemoteIO)
 	// The fairness objective (Eq. 8) is evaluated on realized
 	// throughput: the performance jobs actually experience under the
 	// current allocation, warm-up effects included — plans that flatter
@@ -414,7 +505,7 @@ func (s *fluidSim) sample(running []*jobRT, hits []float64, rates, grants []unit
 	for i, j := range running {
 		realized[j.spec.ID] = rates[i]
 	}
-	s.series["fairness"].Append(t, fairnessRatio(s.cfg.Cluster, running, func(j *jobRT) unit.Bandwidth {
+	s.series["fairness"].Append(t, fairnessRatio(s.eff, running, func(j *jobRT) unit.Bandwidth {
 		return realized[j.spec.ID]
 	}))
 	var alloc, eff float64
@@ -452,7 +543,9 @@ func (s *fluidSim) loop() error {
 			return fmt.Errorf("sim: exceeded max simulated time %v with %d/%d jobs finished",
 				s.cfg.MaxSimTime, finished, totalJobs)
 		}
-		// Decision point: (re)schedule.
+		// Decision point: land due faults, then (re)schedule against
+		// whatever capacity survives.
+		s.applyFaults()
 		if err := s.reschedule(); err != nil {
 			return err
 		}
@@ -460,6 +553,9 @@ func (s *fluidSim) loop() error {
 		// Determine the next decision point.
 		nextTick = s.now.Add(s.cfg.ReschedInterval)
 		horizon := nextTick
+		if at, ok := s.inj.NextAt(); ok && at < horizon {
+			horizon = at
+		}
 		if s.nextArrive < totalJobs {
 			at := s.jobs[s.nextArrive].spec.Submit
 			// Advance nextArrive past already-arrived jobs.
@@ -516,7 +612,7 @@ func (s *fluidSim) loop() error {
 					used += float64(rates[i]) * (1 - hits[i])
 					_ = j
 				}
-				leftover := float64(s.cfg.Cluster.RemoteIO) - used
+				leftover := float64(s.eff.RemoteIO) - used
 				if leftover > 1e-6 {
 					hasRunner := make(map[string]bool, len(running))
 					for _, j := range running {
@@ -599,6 +695,7 @@ func (s *fluidSim) loop() error {
 						j.effCached = minBytes(d.cached, j.spec.Dataset.Size)
 					}
 					j.epochLeft = minBytes(j.spec.Dataset.Size, j.remaining)
+					j.epochSize = j.epochLeft
 				}
 			}
 			if reschedNow {
@@ -607,6 +704,7 @@ func (s *fluidSim) loop() error {
 		}
 	}
 	// Final sample and makespan.
+	s.inj.Finish(s.now)
 	running := s.runningJobs()
 	hits, rates, grants := s.jobRates(running)
 	s.sample(running, hits, rates, grants, true)

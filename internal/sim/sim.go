@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/stats"
@@ -94,6 +95,12 @@ type Config struct {
 	// must equal Cluster.GPUs.
 	Servers       int
 	GPUsPerServer int
+	// Faults, when non-nil, is the deterministic fault schedule the run
+	// replays: capacity shocks (GPU-node loss, cache loss, egress
+	// degradation) and recoveries land as first-class events that
+	// trigger a scheduling round against the degraded capacity. The
+	// schedule is validated against the cluster before the run starts.
+	Faults *faults.Schedule
 	// Metrics, when non-nil, receives run-wide counters, gauges and
 	// histograms (cache hit/miss bytes, reschedules, JCT distribution —
 	// see docs/observability.md). Nil disables instrumentation at zero
@@ -201,6 +208,20 @@ func Run(cfg Config, jobs []workload.JobSpec) (*Result, error) {
 			return nil, fmt.Errorf("sim: job %s needs %d GPUs, cluster has %d", j.ID, j.NumGPUs, c.Cluster.GPUs)
 		}
 	}
+	if err := c.Faults.Validate(c.Cluster); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if c.Faults != nil {
+		known := make(map[string]bool, len(jobs))
+		for _, j := range jobs {
+			known[j.ID] = true
+		}
+		for _, ev := range c.Faults.Events {
+			if ev.Kind == faults.KindJobCrash && !known[ev.Job] {
+				return nil, fmt.Errorf("sim: fault schedule crashes unknown job %q", ev.Job)
+			}
+		}
+	}
 	if c.Servers > 0 || c.GPUsPerServer > 0 {
 		if c.Servers*c.GPUsPerServer != c.Cluster.GPUs {
 			return nil, fmt.Errorf("sim: %d servers x %d GPUs != cluster's %d GPUs",
@@ -234,9 +255,29 @@ type jobRT struct {
 
 	// Fluid-engine cache state: effective cached bytes for the current
 	// epoch (the epoch-start snapshot, §6 "delayed effectiveness") and
-	// bytes left to read in the current epoch.
+	// bytes left to read in the current epoch. epochSize is the full
+	// length of the current epoch, so epochSize-epochLeft is the
+	// progress a fault-driven rollback discards.
 	effCached unit.Bytes
 	epochLeft unit.Bytes
+	epochSize unit.Bytes
+}
+
+// rollbackEpoch discards the current epoch's partial progress — the
+// crash/preemption recovery model: work is checkpointed at epoch
+// boundaries, so a job losing its GPUs mid-epoch resumes from the last
+// boundary (§6 "Fault tolerance").
+func (j *jobRT) rollbackEpoch() {
+	lost := j.epochSize - j.epochLeft
+	if lost <= 0 {
+		return
+	}
+	j.remaining += lost
+	j.attained -= lost
+	if j.attained < 0 {
+		j.attained = 0
+	}
+	j.epochLeft = j.epochSize
 }
 
 // view builds the scheduler's JobView.
@@ -262,6 +303,7 @@ func newJobRT(spec workload.JobSpec, system policy.CacheSystem) *jobRT {
 	if system.PrivateCaches() {
 		key = policy.CoorDLKey(spec.ID)
 	}
+	first := minBytes(spec.Dataset.Size, spec.TotalBytes())
 	return &jobRT{
 		spec: spec,
 		profile: estimator.JobProfile{
@@ -270,7 +312,8 @@ func newJobRT(spec workload.JobSpec, system policy.CacheSystem) *jobRT {
 		},
 		dsKey:     key,
 		remaining: spec.TotalBytes(),
-		epochLeft: minBytes(spec.Dataset.Size, spec.TotalBytes()),
+		epochLeft: first,
+		epochSize: first,
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/datamgr"
 	"repro/internal/dataset"
 	"repro/internal/estimator"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/remoteio"
@@ -47,6 +48,15 @@ type Config struct {
 	Seed            int64
 	// MaxWall bounds the wall-clock duration of the run.
 	MaxWall time.Duration
+	// Faults, when non-nil, is a deterministic fault schedule applied to
+	// the live data manager mid-run: cache-capacity loss/restoration
+	// (pool contents invalidated under the jobs' feet) and remote-IO
+	// degradation/restoration (ledger and token buckets re-throttled).
+	// Faults land at the scheduling round whose simulated time first
+	// reaches the event time. GPU and job-crash kinds are rejected: the
+	// testbed has no preemption model (once started, a job runs to
+	// finish), so those belong to the simulator.
+	Faults *faults.Schedule
 	// Metrics, when non-nil, instruments the run: the data manager's
 	// cache/remote-IO counters plus testbed round and JCT metrics.
 	Metrics *metrics.Registry
@@ -119,6 +129,19 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	if gpus > cfg.Cluster.GPUs {
 		return nil, fmt.Errorf("testbed: trace needs %d GPUs, cluster has %d", gpus, cfg.Cluster.GPUs)
 	}
+	if cfg.Faults != nil {
+		for i, ev := range cfg.Faults.Events {
+			switch ev.Kind {
+			case faults.KindCacheLoss, faults.KindCacheRestore, faults.KindIOLoss, faults.KindIORestore:
+			default:
+				return nil, fmt.Errorf("testbed: fault event %d: kind %s is not supported (no preemption model); use the simulator", i, ev.Kind)
+			}
+		}
+	}
+	inj, err := faults.NewInjector(cfg.Cluster, cfg.Faults, cfg.Metrics, cfg.Timeline)
+	if err != nil {
+		return nil, err
+	}
 
 	mgr := datamgr.New(cfg.Cluster.Cache, unit.Bandwidth(float64(cfg.Cluster.RemoteIO)*cfg.TimeScale), cfg.Seed, nil)
 	mgr.EnableMetrics(cfg.Metrics)
@@ -164,7 +187,8 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	var wg sync.WaitGroup
 
 	// Scheduler goroutine: periodic allocation rounds.
-	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start, met: newBedMetrics(cfg), failc: make(chan struct{})}
+	tb := &bed{cfg: cfg, mgr: mgr, jobs: jobs, start: start, met: newBedMetrics(cfg),
+		failc: make(chan struct{}), inj: inj, eff: inj.Effective()}
 	for _, j := range jobs { // all testbed jobs submit at t=0
 		tb.met.tl.RecordAt(0, metrics.EventSubmit, j.spec.ID, float64(j.spec.NumGPUs), "gpus_requested")
 	}
@@ -221,6 +245,9 @@ func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	close(stop)
 	wg.Wait()
+	// The round goroutine has exited, so the injector is safe to close
+	// out from here; this finalizes the degraded-time accounting.
+	tb.inj.Finish(unit.Time(time.Since(start).Seconds() * cfg.TimeScale))
 	if err := tb.firstErr(); err != nil {
 		return nil, err
 	}
@@ -253,6 +280,13 @@ type bed struct {
 	jobs  []*jobRun
 	start time.Time
 	met   bedMetrics
+
+	// inj and eff belong to the scheduler: the initial round runs before
+	// the round goroutine starts, and after that only the round
+	// goroutine touches them, so rounds see a consistent capacity view
+	// while job goroutines hit the (internally locked) manager.
+	inj *faults.Injector
+	eff core.Cluster
 
 	mu    sync.Mutex
 	err   error // guarded by mu (first fatal error of the run)
@@ -350,12 +384,16 @@ func (b *bed) views() []core.JobView {
 // between policy and manager: it aborts the run.
 func (b *bed) round() error {
 	now := unit.Time(time.Since(b.start).Seconds() * b.cfg.TimeScale)
+	b.applyFaults(now)
 	views := b.views()
 	if len(views) == 0 {
 		return nil
 	}
 	b.met.rounds.Inc()
-	a := b.cfg.Policy.Assign(b.cfg.Cluster, now, views)
+	a := b.cfg.Policy.Assign(b.eff, now, views)
+	if err := a.Validate(b.eff, views); err != nil {
+		return fmt.Errorf("testbed: infeasible assignment: %w", err)
+	}
 	// Cache quotas.
 	mentioned := make(map[string]bool)
 	for key, q := range a.CacheQuota {
@@ -377,6 +415,14 @@ func (b *bed) round() error {
 			miss = 1 - float64(v.EffectiveCached)/float64(v.DatasetSize)
 		}
 		want := float64(v.Profile.IdealThroughput) * miss
+		// Floor: even a fully-cached job keeps a sliver of remote-IO
+		// demand. Its bucket rate must never be zero, because a fault can
+		// invalidate cached blocks mid-epoch and a miss against a
+		// zero-rate bucket stalls the loader unboundedly instead of
+		// degrading gracefully.
+		if minWant := float64(v.Profile.IdealThroughput) * 0.02; want < minWant {
+			want = minWant
+		}
 		if bw, ok := a.RemoteIO[v.ID]; ok && bw > 0 {
 			grants[v.ID] = float64(bw)
 			allocated += float64(bw)
@@ -387,7 +433,7 @@ func (b *bed) round() error {
 			demands = append(demands, remoteio.Demand{JobID: v.ID, Want: unit.Bandwidth(want)})
 		}
 	}
-	pool := float64(b.cfg.Cluster.RemoteIO)
+	pool := float64(b.eff.RemoteIO)
 	if anyAlloc {
 		pool -= allocated
 	}
@@ -433,6 +479,38 @@ func (b *bed) round() error {
 		j.mu.Unlock()
 	}
 	return nil
+}
+
+// applyFaults drains fault events due by now and applies them to the
+// live data manager: cache losses invalidate the lost fraction of pool
+// contents and shrink capacity (jobs keep running; subsequent reads miss
+// and fall back to throttled remote IO); remote-IO events resize the
+// ledger, re-throttling token buckets mid-stream. Only round() calls
+// this, so b.eff is read and written without locking.
+func (b *bed) applyFaults(now unit.Time) {
+	for {
+		before := b.eff
+		ev, ok := b.inj.Next(now)
+		if !ok {
+			return
+		}
+		b.eff = b.inj.Effective()
+		switch ev.Kind {
+		case faults.KindCacheLoss:
+			frac := 0.0
+			if before.Cache > 0 {
+				frac = 1 - float64(b.eff.Cache)/float64(before.Cache)
+			}
+			b.mgr.ResizeCache(b.eff.Cache, frac)
+		case faults.KindCacheRestore:
+			b.mgr.ResizeCache(b.eff.Cache, 0)
+		case faults.KindIOLoss, faults.KindIORestore:
+			// Ledger rates are stored TimeScale-scaled (simulated bytes
+			// per wall second), so the effective capacity is scaled the
+			// same way before resizing.
+			b.mgr.ResizeEgress(unit.Bandwidth(float64(b.eff.RemoteIO) * b.cfg.TimeScale))
+		}
+	}
 }
 
 // runJob drives one job's loader+compute pipeline: the loader goroutine
