@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos verify bench baseline clean
+.PHONY: build test vet lint race chaos verify bench baseline perf clean
 
 build:
 	$(GO) build ./...
@@ -34,10 +34,19 @@ verify: build vet lint race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	SILOD_BENCH=1 $(GO) test . -run TestEmitBenchPR5 -v
 
 # baseline regenerates BENCH_baseline.json from the metrics counters.
 baseline:
 	$(GO) test . -run TestEmitBenchBaseline
+
+# perf is the worker-pool gate: the runner stress test under the race
+# detector, plus the parallel-vs-sequential byte-identity tests at both
+# the experiment and CLI layers. See docs/performance.md.
+perf:
+	$(GO) test -race -run 'TestPoolStress|TestMap|TestForEach|TestArmSeed' ./internal/runner/
+	$(GO) test -race -run TestParallelArtifactsByteIdentical ./internal/experiments/
+	$(GO) test -race -run 'TestParallelFlagByteIdentical|TestDeterministic' ./cmd/silodsim/
 
 clean:
 	$(GO) clean ./...

@@ -37,12 +37,14 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/faults/faults\.go:\d+:\d+: wallclock: .*time\.Now`,
 		`(?m)^internal/faults/faults\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
 		`(?m)^internal/faults/faults\.go:\d+:\d+: errflow: error value assigned to _`,
+		`(?m)^internal/runner/runner\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
+		`(?m)^internal/runner/runner\.go:\d+:\d+: lockcheck: read of p\.results without holding p\.mu`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "10 finding(s)") {
+	if !strings.Contains(stderr, "12 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -56,6 +58,7 @@ func TestAllowlistSilences(t *testing.T) {
 		"* internal/sim/sim.go\n" +
 		"* internal/cache/cache.go\n" +
 		"* internal/faults/faults.go\n" +
+		"* internal/runner/runner.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -111,8 +114,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 10 {
-		t.Fatalf("got %d JSON lines, want 10:\n%s", len(lines), stdout)
+	if len(lines) != 12 {
+		t.Fatalf("got %d JSON lines, want 12:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -130,8 +133,8 @@ func TestJSONOutput(t *testing.T) {
 			t.Errorf("no %s finding in JSON output:\n%s", want, stdout)
 		}
 	}
-	if d := byAnalyzer["goleak"]; d.Path != "internal/faults/faults.go" {
-		t.Errorf("goleak path = %q, want internal/faults/faults.go", d.Path)
+	if d := byAnalyzer["goleak"]; d.Path != "internal/runner/runner.go" {
+		t.Errorf("goleak path = %q, want internal/runner/runner.go", d.Path)
 	}
 	if strings.Contains(stdout, ": goleak: ") {
 		t.Errorf("-json output contains text-format diagnostics:\n%s", stdout)

@@ -40,6 +40,22 @@ func TestDeterministicMetricsDump(t *testing.T) {
 	}
 }
 
+// TestParallelFlagByteIdentical checks the CLI end of the worker-pool
+// guarantee: -parallel=4 must print byte-identical experiment output to
+// the -parallel=1 sequential reference. fidelity96 fans its arms over
+// both simulation engines, so a scheduling-order leak in either engine
+// or in the pool's result collection shows up here.
+func TestParallelFlagByteIdentical(t *testing.T) {
+	seq := capture(t, "-exp", "fidelity96", "-quick", "-seed", "7", "-parallel", "1")
+	par := capture(t, "-exp", "fidelity96", "-quick", "-seed", "7", "-parallel", "4")
+	if seq != par {
+		t.Errorf("-parallel=4 output differs from -parallel=1:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Error("empty experiment output")
+	}
+}
+
 // TestDeterministicChaosDump extends the determinism gate to fault
 // injection: replaying the same fault schedule with the same seed must
 // also be byte-identical, for both engines. A wall-clock or ambient-RNG

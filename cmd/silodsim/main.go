@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/core"
@@ -195,6 +197,9 @@ func run(args []string, w *os.File) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	jobsN := fs.Int("jobs", 0, "override trace size for cluster experiments")
 	quick := fs.Bool("quick", false, "shrink cluster experiments for a fast pass")
+	parallel := fs.Int("parallel", 0, "experiment-arm workers: 0 = GOMAXPROCS, 1 = sequential (debugging reference)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 
 	trace := fs.String("trace", "", "run a JSONL trace file instead of an experiment")
 	scheduler := fs.String("scheduler", "FIFO", "scheduling policy: FIFO | SJF | Gavel")
@@ -222,7 +227,35 @@ func run(args []string, w *os.File) error {
 		return nil
 	}
 
-	o := experiments.Options{Seed: *seed, Jobs: *jobsN, Quick: *quick}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silodsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "silodsim: memprofile:", err)
+			}
+		}()
+	}
+	o := experiments.Options{
+		Seed: *seed, Jobs: *jobsN, Quick: *quick,
+		Sequential: *parallel == 1, Workers: *parallel,
+	}
 	if *trace != "" {
 		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut, *faultsPath)
 	}

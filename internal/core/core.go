@@ -91,6 +91,22 @@ func NewAssignment() Assignment {
 	}
 }
 
+// Reset clears the assignment's maps for reuse, allocating them on
+// first use. Policies call it to recycle one Assignment's maps across
+// scheduling rounds instead of reallocating; the returned value shares
+// the receiver's maps, so a recycled Assignment is valid only until the
+// policy's next Assign call.
+func (a *Assignment) Reset() Assignment {
+	if a.GPUs == nil {
+		*a = NewAssignment()
+		return *a
+	}
+	clear(a.GPUs)
+	clear(a.CacheQuota)
+	clear(a.RemoteIO)
+	return *a
+}
+
 // Merge folds other into a (keys in other win). Used to combine the
 // regular and irregular partitions.
 func (a Assignment) Merge(other Assignment) Assignment {
@@ -162,6 +178,19 @@ func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 type Policy interface {
 	Name() string
 	Assign(c Cluster, now unit.Time, jobs []JobView) Assignment
+}
+
+// PureAssigner is the optional Policy extension that lets engines skip
+// redundant solves. PureAssign reports that Assign is a pure function
+// of (cluster, jobs): the same inputs always produce an equivalent
+// Assignment, independent of the wall-clock `now` argument, call
+// history, and any internal randomness. Engines that see unchanged
+// inputs may then reuse the previous solve's result. Policies whose
+// ordering depends on `now` (e.g. deficit-based fairness) or that draw
+// random numbers (e.g. Quiver's profiling noise) must report false —
+// or simply not implement the interface, which engines treat the same.
+type PureAssigner interface {
+	PureAssign() bool
 }
 
 // Framework is SiloD's top-level scheduler (Algorithm 1). It partitions
@@ -328,6 +357,22 @@ func (p frameworkPolicy) Assign(c Cluster, now unit.Time, jobs []JobView) Assign
 		panic(fmt.Sprintf("core: framework scheduling failed: %v", err))
 	}
 	return a
+}
+
+// PureAssign implements PureAssigner: the framework is pure when every
+// policy it may delegate to is pure (the built-in equal-share fallback
+// used when Fallback is nil is a pure function already).
+func (p frameworkPolicy) PureAssign() bool {
+	if !policyPure(p.f.Policy) {
+		return false
+	}
+	return p.f.Fallback == nil || policyPure(p.f.Fallback)
+}
+
+// policyPure reports whether p declares itself a pure assigner.
+func policyPure(p Policy) bool {
+	pa, ok := p.(PureAssigner)
+	return ok && pa.PureAssign()
 }
 
 // AsPolicy returns the framework as a Policy.

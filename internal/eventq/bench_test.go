@@ -12,9 +12,30 @@ func BenchmarkScheduleAndStep(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		q.Schedule(r.Float64()*1000, func() {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Schedule(q.Now()+r.Float64()*1000, func() {})
 		q.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the mid-heap removal path (rate
+// changes cancel and re-arm fetch completions constantly in the batch
+// engine). The hand-rolled heap should allocate only the Event itself —
+// no interface boxing per operation.
+func BenchmarkScheduleCancel(b *testing.B) {
+	q := New()
+	r := rand.New(rand.NewSource(2))
+	pending := make([]*Event, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		pending = append(pending, q.Schedule(r.Float64()*1000, func() {}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := r.Intn(len(pending))
+		q.Cancel(pending[idx])
+		pending[idx] = q.Schedule(q.Now()+r.Float64()*1000, func() {})
 	}
 }

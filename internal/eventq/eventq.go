@@ -1,9 +1,14 @@
 // Package eventq implements the discrete-event queue at the heart of the
 // cluster simulator: a binary min-heap ordered by event time with stable
 // FIFO tie-breaking and O(log n) cancellation.
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// interface-based API forces an allocation per Push (boxing the *Event
+// into an `any`) and virtual dispatch per comparison, which shows up in
+// the batch engine where every block completion is an event. The manual
+// siftUp/siftDown operations below keep pops, pushes, and mid-heap
+// removals at O(log n) with zero allocations beyond slice growth.
 package eventq
-
-import "container/heap"
 
 // Event is a scheduled callback. The zero Event is invalid; obtain events
 // from Queue.Schedule.
@@ -48,7 +53,9 @@ func (q *Queue) Schedule(t float64, fn func()) *Event {
 	}
 	e := &Event{time: t, seq: q.seq, fn: fn}
 	q.seq++
-	heap.Push(&q.h, e)
+	e.index = len(q.h)
+	q.h = append(q.h, e)
+	q.h.siftUp(e.index)
 	return e
 }
 
@@ -63,7 +70,7 @@ func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.index == -1 {
 		return
 	}
-	heap.Remove(&q.h, e.index)
+	q.h.remove(e.index)
 	e.index = -1
 }
 
@@ -73,7 +80,9 @@ func (q *Queue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.h).(*Event)
+	e := q.h[0]
+	q.h.remove(0)
+	e.index = -1
 	q.now = e.time
 	e.fn()
 	return true
@@ -113,33 +122,68 @@ func (q *Queue) PeekTime() (t float64, ok bool) {
 
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// siftUp restores the heap invariant after h[i] became smaller (insert).
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
+// siftDown restores the heap invariant after h[i] became larger. It
+// reports whether any swap happened (remove uses this to decide whether
+// the displaced element must sift up instead).
+func (h eventHeap) siftDown(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}
+
+// remove deletes h[i], filling the hole with the last element and
+// sifting it to its place.
+func (h *eventHeap) remove(i int) {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		if !(*h).siftDown(i) {
+			(*h).siftUp(i)
+		}
+	}
 }

@@ -51,8 +51,8 @@ func AblationDesignChoices(o Options) (*DesignAblationResult, error) {
 		{name: "no warm-up investment", alloc: policy.GreedyAllocator{PlainFairIO: true}},
 		{name: "no work conservation", mutate: func(c *sim.Config) { c.DisableWorkConserving = true }},
 	}
-	res := &DesignAblationResult{}
-	for _, v := range variants {
+	rows, err := mapArms(o, len(variants), func(i int) (DesignAblationRow, error) {
+		v := variants[i]
 		pol := &policy.FIFO{Storage: v.alloc}
 		cfg := sim.Config{
 			Cluster: cl, Policy: pol, System: policy.SiloD,
@@ -63,13 +63,14 @@ func AblationDesignChoices(o Options) (*DesignAblationResult, error) {
 		}
 		r, err := sim.Run(cfg, jobs)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+			return DesignAblationRow{}, fmt.Errorf("ablation %q: %w", v.name, err)
 		}
-		res.Rows = append(res.Rows, DesignAblationRow{
-			Name: v.name, AvgJCT: r.AvgJCT(), Makespan: r.Makespan,
-		})
+		return DesignAblationRow{Name: v.name, AvgJCT: r.AvgJCT(), Makespan: r.Makespan}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &DesignAblationResult{Rows: rows}, nil
 }
 
 // Table renders the design ablation.
@@ -104,24 +105,22 @@ func AblationEngineCost(o Options) (*EngineCostResult, error) {
 		return nil, err
 	}
 	cl := MicroCluster()
-	out := &EngineCostResult{}
-	for _, eng := range []sim.Engine{sim.Fluid, sim.Batch} {
+	engines := []sim.Engine{sim.Fluid, sim.Batch}
+	arms, err := mapArms(o, len(engines), func(i int) (*sim.Result, error) {
 		pol, err := policy.Build(policy.FIFOKind, policy.SiloD, o.seed())
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(sim.Config{Cluster: cl, Policy: pol, System: policy.SiloD,
-			Engine: eng, Seed: o.seed()}, jobs)
-		if err != nil {
-			return nil, err
-		}
-		if eng == sim.Fluid {
-			out.FluidJCT, out.FluidEvents = r.AvgJCT(), r.Events
-		} else {
-			out.BatchJCT, out.BatchEvents = r.AvgJCT(), r.Events
-		}
+		return sim.Run(sim.Config{Cluster: cl, Policy: pol, System: policy.SiloD,
+			Engine: engines[i], Seed: o.seed()}, jobs)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &EngineCostResult{
+		FluidJCT: arms[0].AvgJCT(), FluidEvents: arms[0].Events,
+		BatchJCT: arms[1].AvgJCT(), BatchEvents: arms[1].Events,
+	}, nil
 }
 
 // PrefetchResult compares FIFO-SiloD with and without the Hoard-style
@@ -146,19 +145,20 @@ func AblationPrefetch(o Options) (*PrefetchResult, error) {
 	}
 	cl := clusterPreset(96)
 	cl.Cache *= 4
-	base, err := runOne(policy.FIFOKind, policy.SiloD, cl, jobs, o.seed(), nil)
+	arms, err := mapArms(o, 2, func(i int) (*sim.Result, error) {
+		if i == 0 {
+			return runOne(policy.FIFOKind, policy.SiloD, cl, jobs, o.seed(), nil)
+		}
+		pol := &policy.FIFO{Storage: policy.GreedyAllocator{PrefetchQueued: true}}
+		return sim.Run(sim.Config{
+			Cluster: cl, Policy: pol, System: policy.SiloD,
+			Engine: sim.Fluid, Seed: o.seed(), EnablePrefetch: true,
+		}, jobs)
+	})
 	if err != nil {
 		return nil, err
 	}
-	pol := &policy.FIFO{Storage: policy.GreedyAllocator{PrefetchQueued: true}}
-	pre, err := sim.Run(sim.Config{
-		Cluster: cl, Policy: pol, System: policy.SiloD,
-		Engine: sim.Fluid, Seed: o.seed(), EnablePrefetch: true,
-	}, jobs)
-	if err != nil {
-		return nil, err
-	}
-	return &PrefetchResult{Baseline: base, Prefetch: pre}, nil
+	return &PrefetchResult{Baseline: arms[0], Prefetch: arms[1]}, nil
 }
 
 // Table renders the prefetch comparison.
@@ -197,27 +197,31 @@ func GavelObjectives(o Options) (*ObjectivesResult, error) {
 		return nil, err
 	}
 	cl := clusterPreset(400)
-	res := &ObjectivesResult{}
-	for _, obj := range []policy.GavelObjective{
+	objectives := []policy.GavelObjective{
 		policy.MaxMinFairness, policy.TotalThroughput, policy.FinishTimeFairness,
-	} {
+	}
+	rows, err := mapArms(o, len(objectives), func(i int) (ObjectiveRow, error) {
+		obj := objectives[i]
 		pol := &policy.Gavel{Enhanced: true, Objective: obj}
 		r, err := sim.Run(sim.Config{
 			Cluster: cl, Policy: pol, System: policy.SiloD,
 			Engine: sim.Fluid, Seed: o.seed(),
 		}, jobs)
 		if err != nil {
-			return nil, fmt.Errorf("objective %v: %w", obj, err)
+			return ObjectiveRow{}, fmt.Errorf("objective %v: %w", obj, err)
 		}
-		res.Rows = append(res.Rows, ObjectiveRow{
+		return ObjectiveRow{
 			Objective: obj,
 			AvgJCT:    r.AvgJCT(),
 			Makespan:  r.Makespan,
 			Fairness:  seriesMeanUpTo(r.Timelines["fairness"], (12 * unit.Hour).Minutes()),
 			P99JCT:    stats.Percentile(r.JCTs(), 99),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ObjectivesResult{Rows: rows}, nil
 }
 
 // Table renders the objective comparison.
@@ -291,14 +295,13 @@ func MixedCluster(o Options) (*MixedClusterResult, error) {
 		return sim.Run(sim.Config{Cluster: cl, Policy: fw, System: policy.SiloD,
 			Engine: sim.Batch, Seed: o.seed()}, trace)
 	}
-	part, err := run(true)
+	arms, err := mapArms(o, 2, func(i int) (*sim.Result, error) {
+		return run(i == 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	naive, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	part, naive := arms[0], arms[1]
 	avg := func(r *sim.Result, prefix string) unit.Duration {
 		var sum float64
 		var n int

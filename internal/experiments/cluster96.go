@@ -60,7 +60,7 @@ func Figure10(o Options) (*Figure10Result, error) {
 		return nil, err
 	}
 	cl := clusterPreset(96)
-	results, err := runSystems(policy.FIFOKind, cl, jobs, o.seed(), nil)
+	results, err := runSystems(o, policy.FIFOKind, cl, jobs, o.seed(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -202,27 +202,35 @@ func Figure10Fidelity(o Options) (*FidelityResult, error) {
 		return nil, err
 	}
 	cl := clusterPreset(96)
-	res := &FidelityResult{}
-	for _, cs := range []policy.CacheSystem{policy.SiloD, policy.CoorDL} {
-		row := FidelityRow{System: cs}
-		for _, eng := range []sim.Engine{sim.Fluid, sim.Batch} {
-			pol, err := policy.Build(policy.FIFOKind, cs, o.seed())
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Run(sim.Config{
-				Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
-			}, jobs)
-			if err != nil {
-				return nil, fmt.Errorf("fidelity %v/%v: %w", cs, eng, err)
-			}
-			if eng == sim.Fluid {
-				row.FluidJCT, row.FluidMS = r.AvgJCT(), r.Makespan
-			} else {
-				row.BatchJCT, row.BatchMS = r.AvgJCT(), r.Makespan
-			}
+	systems := []policy.CacheSystem{policy.SiloD, policy.CoorDL}
+	engines := []sim.Engine{sim.Fluid, sim.Batch}
+	// One arm per (system, engine); the batch arms dominate, so the
+	// fluid arms ride along on spare workers.
+	flat, err := mapArms(o, len(systems)*len(engines), func(i int) (*sim.Result, error) {
+		cs, eng := systems[i/len(engines)], engines[i%len(engines)]
+		pol, err := policy.Build(policy.FIFOKind, cs, o.seed())
+		if err != nil {
+			return nil, err
 		}
-		res.Rows = append(res.Rows, row)
+		r, err := sim.Run(sim.Config{
+			Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
+		}, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("fidelity %v/%v: %w", cs, eng, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FidelityResult{}
+	for si, cs := range systems {
+		fl, ba := flat[si*len(engines)], flat[si*len(engines)+1]
+		res.Rows = append(res.Rows, FidelityRow{
+			System:   cs,
+			FluidJCT: fl.AvgJCT(), FluidMS: fl.Makespan,
+			BatchJCT: ba.AvgJCT(), BatchMS: ba.Makespan,
+		})
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/unit"
@@ -27,6 +28,13 @@ type Options struct {
 	Jobs int
 	// Quick shrinks the cluster experiments further for unit tests.
 	Quick bool
+	// Sequential runs experiment arms inline in index order instead of
+	// fanning them across the worker pool (silodsim -parallel=1). The
+	// parallel path is tested byte-identical to this one; Sequential
+	// exists for debugging and as the reference order.
+	Sequential bool
+	// Workers bounds the arm worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -34,6 +42,22 @@ func (o Options) seed() int64 {
 		return 42
 	}
 	return o.Seed
+}
+
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Seed: o.seed(), Workers: o.Workers, Sequential: o.Sequential}
+}
+
+// mapArms fans n experiment arms across the deterministic worker pool
+// (or runs them inline under Options.Sequential). Arms receive their
+// index only: every experiment in this package derives its randomness
+// from Options.Seed so that published golden numbers (EXPERIMENTS.md)
+// are independent of how arms are scheduled; arms that need a private
+// stream should use runner.Map directly and draw from Arm.Seed.
+func mapArms[T any](o Options, n int, run func(i int) (T, error)) ([]T, error) {
+	return runner.Map(o.runnerOpts(), n, func(a runner.Arm) (T, error) {
+		return run(a.Index)
+	})
 }
 
 // Cluster presets follow Table 5: the remote IO limit scales down from
@@ -85,16 +109,19 @@ func runOne(k policy.SchedulerKind, cs policy.CacheSystem, cl core.Cluster,
 type SystemResults map[policy.CacheSystem]*sim.Result
 
 // runSystems executes the trace under every cache system with the given
-// scheduler.
-func runSystems(k policy.SchedulerKind, cl core.Cluster, jobs []workload.JobSpec,
+// scheduler, one parallel arm per system.
+func runSystems(o Options, k policy.SchedulerKind, cl core.Cluster, jobs []workload.JobSpec,
 	seed int64, mutate func(*sim.Config)) (SystemResults, error) {
-	out := make(SystemResults)
-	for _, cs := range policy.AllCacheSystems() {
-		res, err := runOne(k, cs, cl, jobs, seed, mutate)
-		if err != nil {
-			return nil, err
-		}
-		out[cs] = res
+	systems := policy.AllCacheSystems()
+	results, err := mapArms(o, len(systems), func(i int) (*sim.Result, error) {
+		return runOne(k, systems[i], cl, jobs, seed, mutate)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(SystemResults, len(systems))
+	for i, cs := range systems {
+		out[cs] = results[i]
 	}
 	return out, nil
 }

@@ -36,10 +36,20 @@ func Figure12(o Options) (*Figure12Result, error) {
 		Fairness:    make(map[policy.CacheSystem]*stats.Series),
 		AvgFairness: make(map[policy.CacheSystem]float64),
 	}
-	for _, k := range policy.AllSchedulerKinds() {
-		res, err := runSystems(k, cl, jobs, o.seed(), nil)
-		if err != nil {
-			return nil, err
+	// One arm per (scheduler, system) cell: the full 12-cell matrix
+	// fans out at once rather than scheduler-by-scheduler.
+	kinds := policy.AllSchedulerKinds()
+	systems := policy.AllCacheSystems()
+	flat, err := mapArms(o, len(kinds)*len(systems), func(i int) (*sim.Result, error) {
+		return runOne(kinds[i/len(systems)], systems[i%len(systems)], cl, jobs, o.seed(), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range kinds {
+		res := make(SystemResults, len(systems))
+		for si, cs := range systems {
+			res[cs] = flat[ki*len(systems)+si]
 		}
 		out.Results[k] = res
 		if k == policy.GavelKind {
@@ -116,20 +126,22 @@ func Figure14a(o Options) (*Figure14aResult, error) {
 		return nil, err
 	}
 	res := &Figure14aResult{}
-	for _, gbps := range []float64{2, 4, 6, 8, 10, 12} {
+	points := []float64{2, 4, 6, 8, 10, 12}
+	systems := []policy.CacheSystem{policy.SiloD, policy.Alluxio}
+	// One arm per (bandwidth, system) point: 12 arms instead of 6
+	// sequential pairs.
+	flat, err := mapArms(o, len(points)*len(systems), func(i int) (*sim.Result, error) {
 		cl := clusterPreset(400)
-		cl.RemoteIO = unit.GBpsOf(gbps)
-		s, err := runOne(policy.FIFOKind, policy.SiloD, cl, jobs, o.seed(), nil)
-		if err != nil {
-			return nil, err
-		}
-		a, err := runOne(policy.FIFOKind, policy.Alluxio, cl, jobs, o.seed(), nil)
-		if err != nil {
-			return nil, err
-		}
+		cl.RemoteIO = unit.GBpsOf(points[i/len(systems)])
+		return runOne(policy.FIFOKind, systems[i%len(systems)], cl, jobs, o.seed(), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, gbps := range points {
 		res.BandwidthGBps = append(res.BandwidthGBps, gbps)
-		res.SiloDJCT = append(res.SiloDJCT, s.AvgJCT().Minutes())
-		res.AlluxioJCT = append(res.AlluxioJCT, a.AvgJCT().Minutes())
+		res.SiloDJCT = append(res.SiloDJCT, flat[pi*len(systems)].AvgJCT().Minutes())
+		res.AlluxioJCT = append(res.AlluxioJCT, flat[pi*len(systems)+1].AvgJCT().Minutes())
 	}
 	return res, nil
 }
@@ -158,7 +170,12 @@ type Figure14bResult struct {
 // push more jobs into IO bottleneck, widening SiloD's advantage.
 func Figure14b(o Options) (*Figure14bResult, error) {
 	res := &Figure14bResult{}
-	for _, scale := range []float64{1, 2, 4} {
+	scales := []float64{1, 2, 4}
+	systems := []policy.CacheSystem{policy.SiloD, policy.Quiver}
+	// One arm per (scale, system); each arm regenerates the scale's
+	// trace, which is deterministic given the config and cheap next to
+	// the simulation it feeds.
+	flat, err := mapArms(o, len(scales)*len(systems), func(i int) (*sim.Result, error) {
 		n := 600
 		if o.Jobs > 0 {
 			n = o.Jobs
@@ -167,20 +184,18 @@ func Figure14b(o Options) (*Figure14bResult, error) {
 			n = max(10, n/10)
 		}
 		cfg := workload.DefaultTraceConfig(o.seed(), n, 8*unit.Hour)
-		cfg.SpeedScale = scale
+		cfg.SpeedScale = scales[i/len(systems)]
 		jobs, err := workload.Generate(cfg)
 		if err != nil {
 			return nil, err
 		}
-		cl := clusterPreset(400)
-		s, err := runOne(policy.GavelKind, policy.SiloD, cl, jobs, o.seed(), nil)
-		if err != nil {
-			return nil, err
-		}
-		q, err := runOne(policy.GavelKind, policy.Quiver, cl, jobs, o.seed(), nil)
-		if err != nil {
-			return nil, err
-		}
+		return runOne(policy.GavelKind, systems[i%len(systems)], clusterPreset(400), jobs, o.seed(), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, scale := range scales {
+		s, q := flat[si*len(systems)], flat[si*len(systems)+1]
 		res.SpeedScale = append(res.SpeedScale, scale)
 		res.SiloDJCT = append(res.SiloDJCT, s.AvgJCT().Minutes())
 		res.QuiverJCT = append(res.QuiverJCT, q.AvgJCT().Minutes())
@@ -212,7 +227,11 @@ type Figure15Result struct {
 // three SiloD-enhanced schedulers.
 func Figure15(o Options) (*Figure15Result, error) {
 	res := &Figure15Result{JCT: make(map[policy.SchedulerKind][]float64)}
-	for _, share := range []float64{0, 0.25, 0.5, 1.0} {
+	shares := []float64{0, 0.25, 0.5, 1.0}
+	kinds := policy.AllSchedulerKinds()
+	// One arm per (share fraction, scheduler): 12 arms, each
+	// regenerating its share point's deterministic trace.
+	flat, err := mapArms(o, len(shares)*len(kinds), func(i int) (*sim.Result, error) {
 		n := 400
 		if o.Jobs > 0 {
 			n = o.Jobs
@@ -221,19 +240,20 @@ func Figure15(o Options) (*Figure15Result, error) {
 			n = max(10, n/10)
 		}
 		cfg := workload.DefaultTraceConfig(o.seed(), n, 8*unit.Hour)
-		cfg.ShareFraction = share
+		cfg.ShareFraction = shares[i/len(kinds)]
 		jobs, err := workload.Generate(cfg)
 		if err != nil {
 			return nil, err
 		}
-		cl := clusterPreset(96)
+		return runOne(kinds[i%len(kinds)], policy.SiloD, clusterPreset(96), jobs, o.seed(), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, share := range shares {
 		res.SharePercent = append(res.SharePercent, share*100)
-		for _, k := range policy.AllSchedulerKinds() {
-			r, err := runOne(k, policy.SiloD, cl, jobs, o.seed(), nil)
-			if err != nil {
-				return nil, err
-			}
-			res.JCT[k] = append(res.JCT[k], r.AvgJCT().Minutes())
+		for ki, k := range kinds {
+			res.JCT[k] = append(res.JCT[k], flat[si*len(kinds)+ki].AvgJCT().Minutes())
 		}
 	}
 	return res, nil
@@ -266,17 +286,14 @@ func AblationNoIO(o Options) (*AblationNoIOResult, error) {
 		return nil, err
 	}
 	cl := clusterPreset(96)
-	with, err := runOne(policy.GavelKind, policy.SiloD, cl, jobs, o.seed(), nil)
-	if err != nil {
-		return nil, err
-	}
-	without, err := runOne(policy.GavelKind, policy.SiloD, cl, jobs, o.seed(), func(c *sim.Config) {
-		c.DisableIOControl = true
+	mutates := []func(*sim.Config){nil, func(c *sim.Config) { c.DisableIOControl = true }}
+	arms, err := mapArms(o, len(mutates), func(i int) (*sim.Result, error) {
+		return runOne(policy.GavelKind, policy.SiloD, cl, jobs, o.seed(), mutates[i])
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &AblationNoIOResult{WithControl: with, WithoutControl: without}, nil
+	return &AblationNoIOResult{WithControl: arms[0], WithoutControl: arms[1]}, nil
 }
 
 // Table renders the ablation.

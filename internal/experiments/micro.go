@@ -107,27 +107,37 @@ func Table6(o Table6Options) (*Table6Result, error) {
 	if scale <= 0 {
 		scale = 6000
 	}
-	for _, cs := range policy.AllCacheSystems() {
-		row := Table6Row{System: cs}
-		for _, eng := range []sim.Engine{sim.Batch, sim.Fluid} {
-			pol, err := policy.Build(policy.FIFOKind, cs, o.seed())
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Run(sim.Config{
-				Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
-				MetricsInterval: 20 * unit.Minute,
-			}, jobs)
-			if err != nil {
-				return nil, fmt.Errorf("table6 %v/%v: %w", cs, eng, err)
-			}
-			if eng == sim.Batch {
-				row.BatchJCT, row.BatchMS = r.AvgJCT(), r.Makespan
-				res.Timelines[cs] = r.Timelines["throughput"]
-			} else {
-				row.FluidJCT, row.FluidMS = r.AvgJCT(), r.Makespan
-			}
+	// One arm per (system, engine) simulation; the testbed runs stay
+	// sequential below because they are wall-clock bound (time-scaled
+	// sleeps), so overlapping them would distort their measurements.
+	systems := policy.AllCacheSystems()
+	engines := []sim.Engine{sim.Batch, sim.Fluid}
+	flat, err := mapArms(o.Options, len(systems)*len(engines), func(i int) (*sim.Result, error) {
+		cs, eng := systems[i/len(engines)], engines[i%len(engines)]
+		pol, err := policy.Build(policy.FIFOKind, cs, o.seed())
+		if err != nil {
+			return nil, err
 		}
+		r, err := sim.Run(sim.Config{
+			Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
+			MetricsInterval: 20 * unit.Minute,
+		}, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %v/%v: %w", cs, eng, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, cs := range systems {
+		ba, fl := flat[si*len(engines)], flat[si*len(engines)+1]
+		row := Table6Row{
+			System:   cs,
+			BatchJCT: ba.AvgJCT(), BatchMS: ba.Makespan,
+			FluidJCT: fl.AvgJCT(), FluidMS: fl.Makespan,
+		}
+		res.Timelines[cs] = ba.Timelines["throughput"]
 		if o.WithTestbed {
 			pol, err := policy.Build(policy.FIFOKind, cs, o.seed())
 			if err != nil {

@@ -32,6 +32,7 @@ func benchJobs(n int) []core.JobView {
 
 func BenchmarkMaxMinStorage(b *testing.B) {
 	jobs := benchJobs(200)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MaxMinStorage(unit.TiB(100), unit.GBpsOf(4), jobs)
@@ -41,6 +42,7 @@ func BenchmarkMaxMinStorage(b *testing.B) {
 func BenchmarkGreedyAllocate(b *testing.B) {
 	jobs := benchJobs(200)
 	c := core.Cluster{GPUs: 400, Cache: unit.TiB(100), RemoteIO: unit.GBpsOf(4)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := core.NewAssignment()
@@ -55,8 +57,36 @@ func BenchmarkGavelAssign(b *testing.B) {
 	jobs := benchJobs(200)
 	g := &Gavel{Enhanced: true}
 	c := core.Cluster{GPUs: 400, Cache: unit.TiB(100), RemoteIO: unit.GBpsOf(4)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.Assign(c, unit.Time(i), jobs)
+	}
+}
+
+// BenchmarkFIFOAssignSteadyState measures the per-round allocation cost
+// of repeated solves over an unchanged job set — the pattern the
+// simulators produce between arrivals. The recycled scratch Assignment
+// should keep per-round map allocations near zero.
+func BenchmarkFIFOAssignSteadyState(b *testing.B) {
+	jobs := benchJobs(200)
+	f := &FIFO{Storage: GreedyAllocator{}}
+	c := core.Cluster{GPUs: 400, Cache: unit.TiB(100), RemoteIO: unit.GBpsOf(4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Assign(c, unit.Time(i), jobs)
+	}
+}
+
+// BenchmarkSJFAssignSteadyState is the SJF-enhanced analogue.
+func BenchmarkSJFAssignSteadyState(b *testing.B) {
+	jobs := benchJobs(200)
+	s := &SJF{Enhanced: true}
+	c := core.Cluster{GPUs: 400, Cache: unit.TiB(100), RemoteIO: unit.GBpsOf(4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Assign(c, unit.Time(i), jobs)
 	}
 }

@@ -7,10 +7,10 @@ import (
 
 // admitGangs grants GPUs to jobs in the given order, all-or-nothing per
 // gang, first-fit (a job too large for the remaining GPUs is skipped
-// rather than blocking the queue, as DL cluster schedulers do). The
-// returned map contains only admitted jobs.
-func admitGangs(totalGPUs int, ordered []core.JobView) map[string]int {
-	grants := make(map[string]int)
+// rather than blocking the queue, as DL cluster schedulers do). Grants
+// are written into the provided map (only admitted jobs appear), so
+// policies can recycle one assignment's maps across rounds.
+func admitGangs(grants map[string]int, totalGPUs int, ordered []core.JobView) {
 	free := totalGPUs
 	for _, j := range ordered {
 		if j.NumGPUs <= free {
@@ -18,7 +18,6 @@ func admitGangs(totalGPUs int, ordered []core.JobView) map[string]int {
 			free -= j.NumGPUs
 		}
 	}
-	return grants
 }
 
 // runningFirst returns jobs reordered so currently running jobs come
@@ -57,6 +56,10 @@ func admittedViews(jobs []core.JobView, grants map[string]int) []core.JobView {
 // CoorDL / Quiver configurations.
 type FIFO struct {
 	Storage StorageAllocator
+
+	// scratch's maps are recycled across Assign calls; each returned
+	// Assignment is valid only until the next Assign.
+	scratch core.Assignment
 }
 
 // Name implements core.Policy.
@@ -64,9 +67,9 @@ func (f *FIFO) Name() string { return "fifo+" + f.Storage.Name() }
 
 // Assign implements core.Policy.
 func (f *FIFO) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
-	a := core.NewAssignment()
+	a := f.scratch.Reset()
 	ordered := runningFirst(core.SortJobs(jobs))
-	a.GPUs = admitGangs(c.GPUs, ordered)
+	admitGangs(a.GPUs, c.GPUs, ordered)
 	running := admittedViews(jobs, a.GPUs)
 	if qa, ok := f.Storage.(QueueAwareAllocator); ok {
 		var queued []core.JobView

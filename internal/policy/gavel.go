@@ -36,6 +36,10 @@ type Gavel struct {
 	// objectives reuse the same enhanced estimator with a different
 	// ordering and storage program.
 	Objective GavelObjective
+
+	// scratch's maps are recycled across Assign calls; each returned
+	// Assignment is valid only until the next Assign.
+	scratch core.Assignment
 }
 
 // GavelObjective enumerates the Gavel scheduling goals implemented here.
@@ -122,7 +126,7 @@ func finishTimeRho(now unit.Time, j core.JobView) float64 {
 // would churn both GPUs and cache warm-up without improving long-run
 // fairness.
 func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
-	a := core.NewAssignment()
+	a := g.scratch.Reset()
 	ordered := append([]core.JobView(nil), jobs...)
 	key := g.orderKey(c, now, jobs)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -132,7 +136,7 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 		}
 		return ordered[i].ID < ordered[j].ID
 	})
-	a.GPUs = admitGangs(c.GPUs, ordered)
+	admitGangs(a.GPUs, c.GPUs, ordered)
 	running := admittedViews(jobs, a.GPUs)
 	if !g.Enhanced {
 		g.Storage.AllocateStorage(c, running, &a)

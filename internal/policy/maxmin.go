@@ -74,8 +74,9 @@ func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.Jo
 	remIO := float64(totalIO)
 	// Progressive filling: at most len(jobs) rounds.
 	for len(active) > 0 {
-		lambda := maxFeasibleLambda(remCache, remIO, active)
-		alloc, _ := allocateForLambda(remCache, remIO, active, lambda)
+		probe := newLambdaProbe(active)
+		lambda := probe.maxFeasibleLambda(remCache, remIO)
+		alloc := probe.allocate(remCache, remIO, lambda)
 		// Jobs capped at f* under this lambda are saturated: freeze them.
 		var next []storageJob
 		frozeAny := false
@@ -108,71 +109,77 @@ func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.Jo
 	return out
 }
 
-// maxFeasibleLambda bisects on the normalized rate.
-func maxFeasibleLambda(remCache, remIO float64, jobs []storageJob) float64 {
-	// Upper bound: the largest f*/perfEqual ratio.
-	hi := 0.0
-	for _, sj := range jobs {
-		r := float64(sj.view.Profile.IdealThroughput) / sj.perfEqual
-		if r > hi {
-			hi = r
-		}
-	}
-	if hi <= 0 {
-		return 0
-	}
-	lo := 0.0
-	if _, ok := allocateForLambda(remCache, remIO, jobs, hi); ok {
-		return hi
-	}
-	for i := 0; i < 60; i++ {
-		mid := (lo + hi) / 2
-		if _, ok := allocateForLambda(remCache, remIO, jobs, mid); ok {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+// probeGroup is one dataset group inside a lambdaProbe. Membership,
+// size, and the hysteresis fraction are lambda-invariant; rate and
+// cache are recomputed per probe.
+type probeGroup struct {
+	size    float64 // dataset size d
+	eff     float64 // max effective-cached fraction among members
+	members []int
+	rate    float64 // Σ targets of jobs in the group (per probe)
+	cache   float64 // cache granted to the group (per probe)
 }
 
-// allocateForLambda computes the cheapest allocation giving every job
-// throughput min(lambda·perfEqual, f*), and reports whether it fits in
-// the budgets. Cache is assigned to dataset groups in decreasing order
-// of bandwidth-saved-per-byte.
-func allocateForLambda(remCache, remIO float64, jobs []storageJob, lambda float64) ([]StorageAlloc, bool) {
-	type group struct {
-		size    float64 // dataset size d
-		rate    float64 // Σ targets of jobs in the group
-		eff     float64 // max effective-cached fraction among members
-		members []int
-		cache   float64
+// lambdaProbe memoizes the throughput matrix of one progressive-filling
+// round: the per-job equal-share performance, the dataset grouping, and
+// the group scan order are all functions of the (job set, cluster)
+// generation alone, so they are built once and shared by every lambda
+// the bisection probes. Each probe then only refreshes the per-group
+// target rates, re-sorts the scan order, and sums the required
+// bandwidth — no per-probe allocation.
+type lambdaProbe struct {
+	jobs    []storageJob
+	targets []float64
+	keys    []string // first-encounter order; the sort seed of every probe
+	order   []string // scratch: keys re-sorted by bandwidth-saved-per-byte
+	groups  map[string]*probeGroup
+	allocs  []StorageAlloc // scratch for allocate
+}
+
+// newLambdaProbe builds the lambda-invariant state for one round.
+func newLambdaProbe(jobs []storageJob) *lambdaProbe {
+	p := &lambdaProbe{
+		jobs:    jobs,
+		targets: make([]float64, len(jobs)),
+		groups:  make(map[string]*probeGroup),
+		allocs:  make([]StorageAlloc, len(jobs)),
 	}
-	groups := make(map[string]*group)
-	targets := make([]float64, len(jobs))
-	var order []string
 	for i, sj := range jobs {
-		t := math.Min(lambda*sj.perfEqual, float64(sj.view.Profile.IdealThroughput))
-		targets[i] = t
 		key := sj.view.DatasetKey
-		g, ok := groups[key]
+		g, ok := p.groups[key]
 		if !ok {
-			g = &group{size: float64(sj.view.DatasetSize)}
-			groups[key] = g
-			order = append(order, key)
+			g = &probeGroup{size: float64(sj.view.DatasetSize)}
+			p.groups[key] = g
+			p.keys = append(p.keys, key)
 		}
-		g.rate += t
 		if f := float64(sj.view.CachedBytes) / math.Max(float64(sj.view.DatasetSize), 1); f > g.eff {
 			g.eff = f
 		}
 		g.members = append(g.members, i)
 	}
-	// Bandwidth saved per cache byte on group g is g.rate/g.size, with
-	// the warm-data hysteresis used throughout SiloD's allocators:
-	// already-effective datasets win near-ties so quotas stay stable as
-	// the job set churns.
+	p.order = make([]string, len(p.keys))
+	return p
+}
+
+// split computes every job's target throughput min(lambda·perfEqual,
+// f*) and the greedy cache division at that lambda: cache goes to
+// dataset groups in decreasing order of bandwidth-saved-per-byte
+// (g.rate/g.size), with the warm-data hysteresis used throughout
+// SiloD's allocators so already-effective datasets win near-ties and
+// quotas stay stable as the job set churns.
+func (p *lambdaProbe) split(remCache, lambda float64) {
+	for _, g := range p.groups {
+		g.rate = 0
+	}
+	for i, sj := range p.jobs {
+		t := math.Min(lambda*sj.perfEqual, float64(sj.view.Profile.IdealThroughput))
+		p.targets[i] = t
+		p.groups[sj.view.DatasetKey].rate += t
+	}
+	copy(p.order, p.keys)
+	order := p.order
 	sort.Slice(order, func(a, b int) bool {
-		ga, gb := groups[order[a]], groups[order[b]]
+		ga, gb := p.groups[order[a]], p.groups[order[b]]
 		ea := ga.rate / math.Max(ga.size, 1) * (1 + 0.5*ga.eff)
 		eb := gb.rate / math.Max(gb.size, 1) * (1 + 0.5*gb.eff)
 		if ea != eb {
@@ -182,34 +189,90 @@ func allocateForLambda(remCache, remIO float64, jobs []storageJob, lambda float6
 	})
 	cacheLeft := remCache
 	for _, key := range order {
-		g := groups[key]
+		g := p.groups[key]
 		give := math.Min(g.size, cacheLeft)
 		g.cache = give
 		cacheLeft -= give
 	}
-	// Required bandwidth per job: t_j · (1 - c/d), the steady-state
-	// demand at the planned cache (Eq. 2). Warm-up transients are the
-	// bandwidth program's concern (MaxMinBandwidth sizes actual grants
-	// effective-aware); the cache program plans the steady state, as
-	// the paper's formulation does.
-	allocs := make([]StorageAlloc, len(jobs))
-	var totalIO float64
-	for _, g := range groups {
+}
+
+// requiredIO sums the bandwidth the split at the current targets needs:
+// t_j · (1 - c/d) per job, the steady-state demand at the planned cache
+// (Eq. 2). Warm-up transients are the bandwidth program's concern
+// (MaxMinBandwidth sizes actual grants effective-aware); the cache
+// program plans the steady state, as the paper's formulation does.
+// Groups are scanned in first-encounter order so the float accumulation
+// order — and with it the feasibility verdict at the bisection
+// boundary — is deterministic.
+func (p *lambdaProbe) requiredIO() float64 {
+	var total float64
+	for _, key := range p.keys {
+		g := p.groups[key]
+		miss := 1 - g.cache/math.Max(g.size, 1)
+		if miss < 0 {
+			miss = 0
+		}
 		for _, i := range g.members {
-			miss := 1 - g.cache/math.Max(g.size, 1)
-			if miss < 0 {
-				miss = 0
-			}
-			b := targets[i] * miss
-			totalIO += b
-			allocs[i] = StorageAlloc{
+			total += p.targets[i] * miss
+		}
+	}
+	return total
+}
+
+// feasible reports whether targets at lambda fit both budgets.
+func (p *lambdaProbe) feasible(remCache, remIO, lambda float64) bool {
+	p.split(remCache, lambda)
+	return p.requiredIO() <= remIO*(1+1e-9)+1e-6
+}
+
+// allocate computes the cheapest allocation giving every job its
+// target throughput at lambda. The returned slice is scratch, valid
+// until the probe's next allocate call.
+func (p *lambdaProbe) allocate(remCache, remIO, lambda float64) []StorageAlloc {
+	p.split(remCache, lambda)
+	for _, key := range p.keys {
+		g := p.groups[key]
+		miss := 1 - g.cache/math.Max(g.size, 1)
+		if miss < 0 {
+			miss = 0
+		}
+		for _, i := range g.members {
+			p.allocs[i] = StorageAlloc{
 				Cache:    unit.Bytes(g.cache / float64(len(g.members))), // provisional split; merged later
-				RemoteIO: unit.Bandwidth(b),
-				Perf:     unit.Bandwidth(targets[i]),
+				RemoteIO: unit.Bandwidth(p.targets[i] * miss),
+				Perf:     unit.Bandwidth(p.targets[i]),
 			}
 		}
 	}
-	return allocs, totalIO <= remIO*(1+1e-9)+1e-6
+	return p.allocs
+}
+
+// maxFeasibleLambda bisects on the normalized rate.
+func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64) float64 {
+	// Upper bound: the largest f*/perfEqual ratio.
+	hi := 0.0
+	for _, sj := range p.jobs {
+		r := float64(sj.view.Profile.IdealThroughput) / sj.perfEqual
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	lo := 0.0
+	if p.feasible(remCache, remIO, hi) {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if p.feasible(remCache, remIO, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // spendSlack distributes leftover cache (by cache efficiency, Eq. 5)

@@ -1,0 +1,46 @@
+package policy
+
+import "repro/internal/core"
+
+// allocatorPure reports whether a storage allocator is a pure function
+// of its inputs. The list is deliberately conservative: only allocators
+// known to be stateless qualify, so an allocator added later defaults
+// to impure until it is vetted. QuiverAllocator draws profiling noise
+// from its RNG on every solve and must never be skipped.
+func allocatorPure(s StorageAllocator) bool {
+	switch s.(type) {
+	case GreedyAllocator, *GreedyAllocator,
+		CoorDLAllocator, *CoorDLAllocator,
+		AlluxioAllocator, *AlluxioAllocator:
+		return true
+	}
+	return false
+}
+
+// PureAssign implements core.PureAssigner: FIFO's admission order
+// depends only on the job views, so purity reduces to the allocator's.
+func (f *FIFO) PureAssign() bool { return allocatorPure(f.Storage) }
+
+// PureAssign implements core.PureAssigner: the SJF score (Eq. 6/7) is a
+// function of the cluster and job views alone — `now` never enters.
+func (s *SJF) PureAssign() bool {
+	return s.Enhanced || allocatorPure(s.Storage)
+}
+
+// PureAssign implements core.PureAssigner. Gavel's max-min and
+// finish-time-fairness orderings rank by deficit against elapsed time,
+// so their output changes as `now` advances even with identical views —
+// they are impure by the PureAssigner contract. Only the
+// throughput-maximizing objective orders by a time-free score.
+func (g *Gavel) PureAssign() bool {
+	if g.Objective != TotalThroughput {
+		return false
+	}
+	return g.Enhanced || allocatorPure(g.Storage)
+}
+
+var (
+	_ core.PureAssigner = (*FIFO)(nil)
+	_ core.PureAssigner = (*SJF)(nil)
+	_ core.PureAssigner = (*Gavel)(nil)
+)

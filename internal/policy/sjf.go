@@ -25,6 +25,10 @@ type SJF struct {
 	Enhanced bool
 	// Storage is the baseline allocator used when Enhanced is false.
 	Storage StorageAllocator
+
+	// scratch's maps are recycled across Assign calls; each returned
+	// Assignment is valid only until the next Assign.
+	scratch core.Assignment
 }
 
 // Name implements core.Policy.
@@ -65,7 +69,7 @@ func sjfScore(c core.Cluster, j core.JobView, enhanced bool) (score float64, wan
 // Assign implements core.Policy. SJF is preemptive at scheduling-round
 // granularity, as in Tiresias: the score order alone decides who runs.
 func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
-	a := core.NewAssignment()
+	a := s.scratch.Reset()
 	type scored struct {
 		view      core.JobView
 		score     float64
@@ -86,7 +90,7 @@ func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.As
 	for i, it := range items {
 		ordered[i] = it.view
 	}
-	a.GPUs = admitGangs(c.GPUs, ordered)
+	admitGangs(a.GPUs, c.GPUs, ordered)
 
 	running := admittedViews(jobs, a.GPUs)
 	if !s.Enhanced {

@@ -21,6 +21,7 @@ func benchTrace(b *testing.B) ([]workload.JobSpec, core.Cluster) {
 
 func BenchmarkFluidEngine(b *testing.B) {
 	jobs, cl := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 11)
@@ -35,6 +36,7 @@ func BenchmarkFluidEngine(b *testing.B) {
 
 func BenchmarkBatchEngine(b *testing.B) {
 	jobs, cl := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 11)
@@ -47,8 +49,35 @@ func BenchmarkBatchEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidJobRates isolates the fluid engine's hottest path: the
+// per-integration-step hit-ratio and throughput computation. The
+// scratch buffers should keep its slice allocations at zero (the only
+// remaining allocations are the bandwidth-division result maps).
+func BenchmarkFluidJobRates(b *testing.B) {
+	jobs, cl := benchTrace(b)
+	if len(jobs) > 32 {
+		jobs = jobs[:32]
+	}
+	s := &fluidSim{cfg: Config{Cluster: cl, System: policy.SiloD}, eff: cl}
+	for _, spec := range jobs {
+		j := newJobRT(spec, policy.SiloD)
+		j.running = true
+		j.gpus = spec.NumGPUs
+		j.remoteIO = unit.MBpsOf(10)
+		j.effCached = spec.Dataset.Size / 2
+		s.jobs = append(s.jobs, j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		running := s.runningJobs()
+		s.jobRates(running)
+	}
+}
+
 func BenchmarkFluidEngineAlluxio(b *testing.B) {
 	jobs, cl := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol, err := policy.Build(policy.FIFOKind, policy.Alluxio, 11)

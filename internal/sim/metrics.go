@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/metrics"
+	"repro/internal/stats"
 	"repro/internal/unit"
 )
 
@@ -14,6 +17,18 @@ var jctBuckets = metrics.ExpBuckets(1, 2, 14)
 // are nil, so engine code updates them unconditionally.
 type simMetrics struct {
 	tl *metrics.Timeline
+
+	// Hit/miss byte totals accumulate in compensated floating point and
+	// flush to the integer counters once at the end of the run. The
+	// fluid engine advances jobs in fractional-byte steps whose
+	// boundaries depend on the configuration (completions, epoch edges,
+	// rescheduling horizons), so truncating to int64 per step made two
+	// runs over the *same* hit stream report different totals — the
+	// BENCH_baseline.json hit-ratio discrepancy. Compensated summation
+	// plus a single rounding at flush time makes the reported ratio a
+	// function of the stream alone.
+	hitAcc  stats.Kahan
+	missAcc stats.Kahan
 
 	hitBytes    *metrics.Counter   // silod_sim_cache_hit_bytes_total
 	missBytes   *metrics.Counter   // silod_sim_cache_miss_bytes_total
@@ -44,6 +59,19 @@ func newSimMetrics(cfg Config) *simMetrics {
 		remoteUtil:  r.Gauge("silod_sim_remoteio_utilization_ratio"),
 		jct:         r.Histogram("silod_sim_jct_minutes", jctBuckets),
 	}
+}
+
+// addHitMiss accumulates one advance step's hit/miss byte split.
+func (m *simMetrics) addHitMiss(hit, miss float64) {
+	m.hitAcc.Add(hit)
+	m.missAcc.Add(miss)
+}
+
+// flushBytes rounds the compensated totals into the exported counters.
+// Call exactly once, when the run completes.
+func (m *simMetrics) flushBytes() {
+	m.hitBytes.Add(int64(math.Round(m.hitAcc.Sum())))
+	m.missBytes.Add(int64(math.Round(m.missAcc.Sum())))
 }
 
 // submitAll records a submit event per job at its arrival time.

@@ -1,0 +1,40 @@
+package sim
+
+import "repro/internal/core"
+
+// resize returns a length-n slice backed by *buf, reallocating only
+// when the capacity is insufficient. Element contents are unspecified
+// (they may hold stale data from a previous use), so callers must
+// overwrite every element before reading. The result aliases *buf and
+// is valid until the buffer's next resize.
+func resize[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// viewsEqual reports element-wise equality of two job-view slices.
+// core.JobView is comparable (all fields are value types), so == is a
+// full deep comparison.
+func viewsEqual(a, b []core.JobView) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// policyPure reports whether the policy declares, via
+// core.PureAssigner, that identical inputs always produce an
+// equivalent assignment — the precondition for the engines' solve-skip
+// memo.
+func policyPure(p core.Policy) bool {
+	pa, ok := p.(core.PureAssigner)
+	return ok && pa.PureAssign()
+}

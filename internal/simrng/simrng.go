@@ -32,6 +32,28 @@ func (g *RNG) Split(label string) *RNG {
 	return New(h ^ g.r.Int63())
 }
 
+// ArmSeed derives the seed for arm `arm` of a multi-arm experiment
+// rooted at rootSeed. It reuses Split's FNV-1a mixing over the byte
+// representation of (rootSeed, arm) so nearby pairs land far apart in
+// seed space and every arm gets an independent stream. The derivation
+// is a pure function of its arguments: it does not consume entropy
+// from any RNG, so the mapping from arm index to seed is identical no
+// matter how many workers run the arms or in what order they finish.
+func ArmSeed(rootSeed int64, arm int) int64 {
+	var h uint64 = 1469598103934665603
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(rootSeed))
+	mix(uint64(arm))
+	// Clear the sign bit: seeds stay non-negative so logs and JSON
+	// artifacts render them the same way as user-supplied seeds.
+	return int64(h &^ (1 << 63))
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -9,6 +9,30 @@ import (
 	"sort"
 )
 
+// Kahan is a compensated (Kahan-Babuška) floating-point accumulator:
+// the running compensation term recovers the low-order bits each Add
+// would otherwise discard, so long sums of small increments stay exact
+// to within one ulp of the true total regardless of how the increments
+// are ordered or batched. The zero value is an empty sum.
+type Kahan struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add accumulates v.
+func (k *Kahan) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
