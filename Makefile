@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos verify bench baseline perf clean
+.PHONY: build test vet lint race chaos tenants verify bench baseline perf clean
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,19 @@ chaos:
 	$(GO) test -race ./internal/faults/
 	$(GO) test -race -run 'Fault|Chaos|Loss|Crash' ./internal/sim/ ./internal/testbed/ ./cmd/silodsim/
 
+# tenants runs the seeded multi-tenant chaos suite under the race
+# detector: registry/admission unit tests, quota-clamp policy tests,
+# the control-plane 429 path, and the SLO-protection + same-seed
+# byte-identity acceptance tests on both engines. See
+# docs/multi-tenancy.md.
+tenants:
+	$(GO) test -race ./internal/tenant/
+	$(GO) test -race -run 'Tenant' ./internal/policy/ ./internal/sim/ ./internal/controlplane/
+
 # verify is the pre-merge gate: compile everything, vet, lint, full
-# suite under the race detector, then the chaos suite.
-verify: build vet lint race chaos
+# suite under the race detector, then the chaos and multi-tenant
+# suites.
+verify: build vet lint race chaos tenants
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,6 +4,8 @@
 //	         -dataset imagenet1k -dataset-size 143GB -gpus 1 -epochs 10
 //	silodctl -sched http://127.0.0.1:7071 schedule
 //	silodctl -sched http://127.0.0.1:7071 jobs
+//	silodctl -sched http://127.0.0.1:7071 nodes
+//	silodctl -sched http://127.0.0.1:7071 tenants
 //	silodctl -dm http://127.0.0.1:7070 stats -job j1
 //	silodctl -dm http://127.0.0.1:7070 snapshot
 package main
@@ -35,7 +37,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: silodctl [flags] submit|schedule|jobs|stats|snapshot|annotations")
+		return fmt.Errorf("usage: silodctl [flags] submit|schedule|jobs|nodes|tenants|stats|snapshot|annotations")
 	}
 	sched := controlplane.NewClient(*schedURL)
 	dm := controlplane.NewClient(*dmURL)
@@ -54,6 +56,18 @@ func run(args []string) error {
 			return err
 		}
 		return printJSON(jobs)
+	case "nodes":
+		nodes, err := sched.Nodes()
+		if err != nil {
+			return err
+		}
+		return printJSON(nodes)
+	case "tenants":
+		tenants, err := sched.Tenants()
+		if err != nil {
+			return err
+		}
+		return printJSON(tenants)
 	case "annotations":
 		ann, err := sched.Annotations()
 		if err != nil {
@@ -92,6 +106,7 @@ func submit(sched *controlplane.Client, args []string) error {
 	dsSize := sub.String("dataset-size", "143GB", "dataset size")
 	gpus := sub.Int("gpus", 1, "gang size")
 	epochs := sub.Float64("epochs", 10, "epochs to train")
+	tenantID := sub.String("tenant", "", "submitting tenant (empty = untenanted flat pool)")
 	if err := sub.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +139,7 @@ func submit(sched *controlplane.Client, args []string) error {
 		NumGPUs:         spec.NumGPUs,
 		IdealThroughput: spec.IdealThroughput(),
 		TotalBytes:      spec.TotalBytes(),
+		Tenant:          *tenantID,
 	}
 	if err := sched.SubmitJob(req); err != nil {
 		return err

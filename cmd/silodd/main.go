@@ -3,7 +3,8 @@
 // service (joint compute/storage allocation) in one process.
 //
 //	silodd -gpus 96 -cache 24TB -remote 1GB -scheduler Gavel \
-//	       -dm-addr :7070 -sched-addr :7071 -interval 10s
+//	       -dm-addr :7070 -sched-addr :7071 -interval 10s \
+//	       -tenants acme:critical,gamma:sheddable:gpus=3:egress=100MB
 //
 // Drive it with silodctl.
 package main
@@ -14,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/controlplane"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/datamgr"
 	"repro/internal/metrics"
 	"repro/internal/policy"
+	"repro/internal/tenant"
 	"repro/internal/unit"
 )
 
@@ -42,6 +45,9 @@ func run(args []string) error {
 	schedAddr := fs.String("sched-addr", ":7071", "scheduler listen address")
 	interval := fs.Duration("interval", 0, "scheduling loop period (0 = on demand via POST /v1/schedule)")
 	seed := fs.Int64("seed", 42, "seed for stochastic policy elements")
+	tenantsSpec := fs.String("tenants", "",
+		"tenant registry: comma-separated id:class[:gpus=N][:cache=SIZE][:egress=BW] entries, e.g. "+
+			"acme:critical,gamma:sheddable:gpus=3:egress=100MB (empty = untenanted flat pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +68,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	pol, err := policy.Build(k, cs, *seed)
+	reg, err := parseTenants(*tenantsSpec)
+	if err != nil {
+		return err
+	}
+	pol, err := policy.BuildTenant(k, cs, *seed, reg)
 	if err != nil {
 		return err
 	}
@@ -74,6 +84,9 @@ func run(args []string) error {
 	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr}, time.Now)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		sched.ConfigureTenants(reg)
 	}
 
 	errCh := make(chan error, 2)
@@ -93,4 +106,52 @@ func run(args []string) error {
 		})
 	}
 	return <-errCh
+}
+
+// parseTenants builds a tenant registry from the -tenants flag. Each
+// comma-separated entry is id:class followed by optional quota parts
+// (gpus=N, cache=SIZE, egress=BW). An empty spec returns nil: the
+// untenanted flat pool.
+func parseTenants(spec string) (*tenant.Registry, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	reg := tenant.NewRegistry()
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("-tenants entry %q: want id:class[:quota...]", entry)
+		}
+		class, err := tenant.ParseSLO(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("-tenants entry %q: %w", entry, err)
+		}
+		t := tenant.Tenant{ID: parts[0], Class: class}
+		for _, q := range parts[2:] {
+			key, val, ok := strings.Cut(q, "=")
+			if !ok {
+				return nil, fmt.Errorf("-tenants entry %q: quota part %q is not key=value", entry, q)
+			}
+			switch key {
+			case "gpus":
+				if _, err := fmt.Sscanf(val, "%d", &t.Quota.GPUs); err != nil {
+					return nil, fmt.Errorf("-tenants entry %q: gpus %q: %w", entry, val, err)
+				}
+			case "cache":
+				if t.Quota.Cache, err = unit.ParseBytes(val); err != nil {
+					return nil, fmt.Errorf("-tenants entry %q: cache %q: %w", entry, val, err)
+				}
+			case "egress":
+				if t.Quota.Egress, err = unit.ParseBandwidth(val); err != nil {
+					return nil, fmt.Errorf("-tenants entry %q: egress %q: %w", entry, val, err)
+				}
+			default:
+				return nil, fmt.Errorf("-tenants entry %q: unknown quota %q (want gpus, cache or egress)", entry, key)
+			}
+		}
+		if err := reg.Register(t); err != nil {
+			return nil, fmt.Errorf("-tenants: %w", err)
+		}
+	}
+	return reg, nil
 }

@@ -39,12 +39,14 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/faults/faults\.go:\d+:\d+: errflow: error value assigned to _`,
 		`(?m)^internal/runner/runner\.go:\d+:\d+: goleak: goroutine has no shutdown path`,
 		`(?m)^internal/runner/runner\.go:\d+:\d+: lockcheck: read of p\.results without holding p\.mu`,
+		`(?m)^internal/tenant/tenant\.go:\d+:\d+: lockcheck: write to r\.tenants without holding r\.mu`,
+		`(?m)^internal/tenant/tenant\.go:\d+:\d+: errflow: error value assigned to _`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "12 finding(s)") {
+	if !strings.Contains(stderr, "14 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -59,6 +61,7 @@ func TestAllowlistSilences(t *testing.T) {
 		"* internal/cache/cache.go\n" +
 		"* internal/faults/faults.go\n" +
 		"* internal/runner/runner.go\n" +
+		"* internal/tenant/tenant.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -114,8 +117,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 12 {
-		t.Fatalf("got %d JSON lines, want 12:\n%s", len(lines), stdout)
+	if len(lines) != 14 {
+		t.Fatalf("got %d JSON lines, want 14:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {

@@ -1,0 +1,34 @@
+// Package tenant is a deliberately non-conforming fixture: a
+// tenant-registry shape that writes its guarded map without the lock
+// and discards an admission error, so lockcheck and errflow sweep the
+// real tenant package's idioms.
+package tenant
+
+import (
+	"errors"
+	"sync"
+)
+
+// registry mirrors the real tenant registry's guarded-map layout.
+type registry struct {
+	mu      sync.Mutex
+	tenants map[string]int // guarded by mu
+}
+
+// register breaks lockcheck: writes tenants without holding mu.
+func (r *registry) register(id string) {
+	r.tenants[id] = 1
+}
+
+// admit stands in for the admission controller's quota check.
+func admit(id string) error {
+	if id == "" {
+		return errors.New("over quota")
+	}
+	return nil
+}
+
+// submit breaks errflow: the admission rejection is discarded.
+func submit(id string) {
+	_ = admit(id)
+}

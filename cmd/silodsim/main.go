@@ -187,6 +187,18 @@ var runners = map[string]experimentRunner{
 		r.Table().Render(w)
 		return nil
 	}},
+	"tenants": {"Multi-tenant chaos: SLO-tiered tenants under GPU+cache loss", func(o experiments.Options, w *os.File) error {
+		r, err := experiments.MultiTenantChaos(o)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		for _, eng := range []string{"fluid", "batch"} {
+			fmt.Fprintf(w, "%s makespan: clean %.0f min, chaos %.0f min\n",
+				eng, r.CleanMakespan[eng].Minutes(), r.FaultMakespan[eng].Minutes())
+		}
+		return nil
+	}},
 }
 
 func run(args []string, w *os.File) error {

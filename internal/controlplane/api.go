@@ -81,7 +81,12 @@ type SubmitJobRequest struct {
 	IdealThroughput unit.Bandwidth `json:"ideal_throughput"`
 	TotalBytes      unit.Bytes     `json:"total_bytes"`
 	Irregular       bool           `json:"irregular,omitempty"`
-	RequestID       string         `json:"request_id,omitempty"`
+	// Tenant names the submitting tenant. When the scheduler runs with
+	// a tenant registry (ConfigureTenants), the tenant must be
+	// registered and the submission is admission-controlled against its
+	// quotas; over-quota submissions are rejected with HTTP 429.
+	Tenant    string `json:"tenant,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // HeartbeatRequest reports a node's liveness and the capacity it
@@ -102,6 +107,20 @@ type NodeStatus struct {
 	Cache           unit.Bytes `json:"cache"`
 	LastSeenSeconds float64    `json:"last_seen_seconds"` // since scheduler start
 	Live            bool       `json:"live"`
+}
+
+// TenantStatus is the scheduler's view of one tenant, returned by
+// GET /v1/tenants: the registered quotas (zero means unlimited) next to
+// the admission controller's live usage.
+type TenantStatus struct {
+	ID          string         `json:"id"`
+	Class       string         `json:"class"`
+	GPUQuota    int            `json:"gpu_quota,omitempty"`
+	CacheQuota  unit.Bytes     `json:"cache_quota,omitempty"`
+	EgressQuota unit.Bandwidth `json:"egress_quota,omitempty"`
+	ActiveJobs  int            `json:"active_jobs"`
+	GPUsInUse   int            `json:"gpus_in_use"`
+	CacheInUse  unit.Bytes     `json:"cache_in_use"`
 }
 
 // ProgressRequest reports a job's training progress (the scheduler

@@ -250,6 +250,14 @@ func (c *Client) Nodes() ([]NodeStatus, error) {
 	return out, err
 }
 
+// Tenants lists a scheduler server's registered tenants and their live
+// quota usage.
+func (c *Client) Tenants() ([]TenantStatus, error) {
+	var out []TenantStatus
+	err := c.doJSON("GET", "/v1/tenants", nil, &out)
+	return out, err
+}
+
 // ReportProgress posts a progress update to a scheduler server.
 func (c *Client) ReportProgress(req ProgressRequest) error {
 	return c.doJSON("POST", "/v1/progress", req, nil)

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/internal/unit"
 )
 
@@ -28,6 +30,7 @@ type DataPlane interface {
 // SchedulerServer, so their mutable fields belong to its lock.
 type schedJob struct {
 	req       SubmitJobRequest // immutable after Submit
+	slo       tenant.SLOClass  // immutable after Submit
 	submitted time.Time        // immutable after Submit
 	attained  unit.Bytes       // guarded by SchedulerServer.mu
 	effective unit.Bytes       // guarded by SchedulerServer.mu
@@ -75,6 +78,10 @@ type SchedulerServer struct {
 	mux      *http.ServeMux
 	registry *metrics.Registry
 	met      schedMetrics
+	// tenants and admission are nil in the untenanted (flat pool)
+	// deployment; ConfigureTenants sets both before serving starts.
+	tenants   *tenant.Registry
+	admission *tenant.Admission
 }
 
 // NewSchedulerServer builds a scheduler for the cluster driving dp with
@@ -111,6 +118,7 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/nodes/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/annotations", s.handleAnnotations)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,6 +131,20 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 // ServeHTTP implements http.Handler.
 func (s *SchedulerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// ConfigureTenants enables multi-tenant admission control: submissions
+// must name a registered tenant and are charged against its GPU/cache
+// quotas, with over-quota submissions rejected by a typed
+// *tenant.OverQuotaError (HTTP 429 at the handler). Call once, before
+// the server starts serving; the per-tenant admission metrics are
+// interned into the scheduler's registry here.
+func (s *SchedulerServer) ConfigureTenants(reg *tenant.Registry) {
+	adm := tenant.NewAdmission(reg, s.registry)
+	s.mu.Lock()
+	s.tenants = reg
+	s.admission = adm
+	s.mu.Unlock()
 }
 
 // Submit registers a job and wires its dataset into the data plane.
@@ -151,7 +173,18 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 		s.mu.Unlock()
 		return fmt.Errorf("controlplane: job %s already submitted", req.JobID)
 	}
-	s.jobs[req.JobID] = &schedJob{req: req, submitted: s.clock()}
+	var slo tenant.SLOClass
+	if s.admission != nil {
+		// Admission nests inside s.mu (always in this order) so the
+		// quota check and the job-table insert are atomic: two racing
+		// submits cannot both pass the same last slice of quota.
+		if err := s.admission.Admit(req.Tenant, req.JobID, req.NumGPUs, req.Dataset, req.DatasetSize); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		slo = s.tenants.ClassOf(req.Tenant)
+	}
+	s.jobs[req.JobID] = &schedJob{req: req, slo: slo, submitted: s.clock()}
 	if req.RequestID != "" {
 		s.requests[req.RequestID] = req.JobID
 	}
@@ -174,9 +207,13 @@ func (s *SchedulerServer) Progress(req ProgressRequest) error {
 	j.attained = req.AttainedBytes
 	j.effective = req.EffectiveCache
 	j.cached = req.CachedBytes
-	if req.Done {
+	if req.Done && !j.done {
 		j.done = true
 		j.running = false
+		if s.admission != nil {
+			// Refund the tenant's quota charge now that the job is done.
+			s.admission.Release(req.JobID)
+		}
 	}
 	return nil
 }
@@ -253,6 +290,33 @@ func (s *SchedulerServer) Nodes() []NodeStatus {
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Node < out[k].Node })
+	return out
+}
+
+// Tenants lists the registered tenants with their quotas and live
+// admission usage, sorted by ID. Empty when tenants are not configured.
+func (s *SchedulerServer) Tenants() []TenantStatus {
+	s.mu.Lock()
+	reg, adm := s.tenants, s.admission
+	s.mu.Unlock()
+	if reg == nil {
+		return nil
+	}
+	list := reg.List()
+	out := make([]TenantStatus, 0, len(list))
+	for _, t := range list {
+		jobs, gpus, cache := adm.Usage(t.ID)
+		out = append(out, TenantStatus{
+			ID:          t.ID,
+			Class:       t.Class.String(),
+			GPUQuota:    t.Quota.GPUs,
+			CacheQuota:  t.Quota.Cache,
+			EgressQuota: t.Quota.Egress,
+			ActiveJobs:  jobs,
+			GPUsInUse:   gpus,
+			CacheInUse:  cache,
+		})
+	}
 	return out
 }
 
@@ -352,6 +416,8 @@ func (s *SchedulerServer) Schedule() error {
 			AttainedBytes:   j.attained,
 			EffectiveCached: j.effective,
 			CachedBytes:     j.cached,
+			Tenant:          j.req.Tenant,
+			SLO:             j.slo,
 			Submit:          unit.Time(j.submitted.Sub(s.epoch).Seconds()),
 			Running:         j.running,
 			Irregular:       j.req.Irregular,
@@ -542,6 +608,15 @@ func (s *SchedulerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Submit(req); err != nil {
+		// A quota rejection is a well-formed request the tenant may
+		// retry once capacity frees up: 429, not 400. The HTTP client
+		// treats non-5xx as terminal, so retried submits don't hammer
+		// an over-quota tenant's budget.
+		var oq *tenant.OverQuotaError
+		if errors.As(err, &oq) {
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -584,6 +659,10 @@ func (s *SchedulerServer) handleHeartbeat(w http.ResponseWriter, r *http.Request
 
 func (s *SchedulerServer) handleNodes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Nodes())
+}
+
+func (s *SchedulerServer) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Tenants())
 }
 
 func (s *SchedulerServer) handleListJobs(w http.ResponseWriter, _ *http.Request) {

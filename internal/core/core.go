@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/estimator"
+	"repro/internal/tenant"
 	"repro/internal/unit"
 )
 
@@ -64,8 +65,15 @@ type JobView struct {
 	// for placement stability (warm-data hysteresis): a dataset filling
 	// up mid-epoch must not be evicted before it ever pays off.
 	CachedBytes unit.Bytes
-	Submit      unit.Time
-	Running     bool
+	// Tenant and SLO identify the job's owner and service tier. The
+	// canonical queue order (SortJobs) ranks by SLO first, so on
+	// capacity loss the re-solve sheds sheddable jobs before standard
+	// before critical — reverse-SLO preemption falls out of admission
+	// order. The zero SLO (standard) reproduces the flat pool exactly.
+	Tenant  string
+	SLO     tenant.SLOClass
+	Submit  unit.Time
+	Running bool
 	// Irregular marks jobs whose access pattern breaks the uniform
 	// exactly-once assumption (e.g. curriculum learning, §7.4); the
 	// framework schedules them in a fallback partition (§6).
@@ -320,11 +328,18 @@ func equalShareFallback(c Cluster, jobs []JobView) Assignment {
 	return a
 }
 
-// SortJobs orders jobs by submit time then ID — the canonical queue
-// order shared by every policy implementation.
+// SortJobs orders jobs by SLO rank (critical before standard before
+// sheddable), then submit time, then ID — the canonical queue order
+// shared by every policy implementation. Ranking first means admission
+// under scarcity protects higher tiers, and on GPU loss the re-solve
+// drops sheddable jobs first. Single-class job sets (the untenanted
+// default) reduce to the original submit-then-ID order.
 func SortJobs(jobs []JobView) []JobView {
 	out := append([]JobView(nil), jobs...)
 	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := out[i].SLO.Rank(), out[j].SLO.Rank(); ri != rj {
+			return ri < rj
+		}
 		if out[i].Submit != out[j].Submit {
 			return out[i].Submit < out[j].Submit
 		}

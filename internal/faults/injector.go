@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/internal/unit"
 )
 
@@ -128,13 +129,23 @@ func (in *Injector) Finish(now unit.Time) {
 }
 
 // CountPreemptions records jobs preempted as a direct consequence of a
-// fault (node loss or crash), for the chaos counters.
+// fault (node loss or crash), for the chaos counters. The victims are
+// charged to the standard SLO tier; engines that know the victim's
+// class use CountPreemptionsSLO.
 func (in *Injector) CountPreemptions(n int) {
+	in.CountPreemptionsSLO(tenant.Standard, n)
+}
+
+// CountPreemptionsSLO records fault preemptions attributed to the
+// victim job's SLO class, feeding both the aggregate counter and the
+// per-class split.
+func (in *Injector) CountPreemptionsSLO(class tenant.SLOClass, n int) {
 	if n <= 0 {
 		return
 	}
 	in.preempted += int64(n)
 	in.met.Preemptions.Add(int64(n))
+	in.met.SLOPreemptions[class].Add(int64(n))
 }
 
 // Preemptions reports the fault-caused preemption count.

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 )
 
 // Metrics is the chaos instrumentation: per-kind injection counters,
@@ -12,6 +13,10 @@ type Metrics struct {
 	Injected    map[Kind]*metrics.Counter // silod_faults_injected_total{kind=...}
 	Recoveries  *metrics.Counter          // silod_faults_recoveries_total
 	Preemptions *metrics.Counter          // silod_faults_preemptions_total
+	// SLOPreemptions splits fault preemptions by the victim's SLO class
+	// — the observable for the reverse-SLO preemption order (sheddable
+	// absorbs the loss, critical stays near zero).
+	SLOPreemptions map[tenant.SLOClass]*metrics.Counter // silod_faults_slo_preemptions_total{slo=...}
 
 	GPUsLost     *metrics.Gauge // silod_faults_gpus_lost
 	CacheLost    *metrics.Gauge // silod_faults_cache_lost_bytes
@@ -36,6 +41,10 @@ func NewMetrics(r *metrics.Registry) Metrics {
 	}
 	for _, k := range Kinds() {
 		m.Injected[k] = r.Counter("silod_faults_injected_total", metrics.L("kind", string(k)))
+	}
+	m.SLOPreemptions = make(map[tenant.SLOClass]*metrics.Counter, len(tenant.Classes()))
+	for _, c := range tenant.Classes() {
+		m.SLOPreemptions[c] = r.Counter("silod_faults_slo_preemptions_total", metrics.L("slo", c.String()))
 	}
 	return m
 }

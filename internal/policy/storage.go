@@ -75,7 +75,12 @@ func (g GreedyAllocator) AllocateStorage(c core.Cluster, running []core.JobView,
 			groups[j.DatasetKey] = g
 			order = append(order, j.DatasetKey)
 		}
-		g.eff += float64(j.Profile.IdealThroughput) / math.Max(float64(j.DatasetSize), 1)
+		// SLO weighting: a critical tenant's f*/d counts double and a
+		// sheddable tenant's half, so under cache pressure the greedy
+		// order favors protected tiers. Standard (and untenanted) jobs
+		// weigh 1, leaving the single-class order bit-identical to the
+		// unweighted Algorithm 2.
+		g.eff += j.SLO.Weight() * float64(j.Profile.IdealThroughput) / math.Max(float64(j.DatasetSize), 1)
 		if f := float64(j.CachedBytes) / math.Max(float64(j.DatasetSize), 1); f > g.cachedFrac {
 			g.cachedFrac = f
 		}
@@ -279,17 +284,24 @@ func instantDemand(j core.JobView, a *core.Assignment) float64 {
 	return float64(j.Profile.IdealThroughput) * miss
 }
 
-// allocRemoteIOFair grants each running job a max-min fair share of the
-// remote IO against its instantaneous demand: the effective cache (not
-// the planned quota) determines the current miss ratio, because newly
-// granted cache only pays off next epoch (§6). The allocation is
-// revisited every scheduling round, so grants shrink as caches warm.
+// allocRemoteIOFair grants each running job a weighted max-min fair
+// share of the remote IO against its instantaneous demand: the
+// effective cache (not the planned quota) determines the current miss
+// ratio, because newly granted cache only pays off next epoch (§6). The
+// weight is the job's SLO class weight, so under bandwidth contention a
+// critical job's fair level is twice a standard job's and four times a
+// sheddable job's; with every weight 1 (the untenanted default) the
+// division is bit-identical to the unweighted water-fill. The
+// allocation is revisited every scheduling round, so grants shrink as
+// caches warm.
 func allocRemoteIOFair(total unit.Bandwidth, running []core.JobView, a *core.Assignment) {
 	type rec struct {
 		id     string
 		demand float64
+		weight float64
 	}
 	recs := make([]rec, 0, len(running))
+	var wsum float64
 	for _, j := range running {
 		q := a.CacheQuota[j.DatasetKey]
 		if q > j.EffectiveCached {
@@ -299,22 +311,28 @@ func allocRemoteIOFair(total unit.Bandwidth, running []core.JobView, a *core.Ass
 			q = j.DatasetSize
 		}
 		miss := 1 - float64(q)/math.Max(float64(j.DatasetSize), 1)
-		recs = append(recs, rec{j.ID, float64(j.Profile.IdealThroughput) * miss})
+		w := j.SLO.Weight()
+		recs = append(recs, rec{j.ID, float64(j.Profile.IdealThroughput) * miss, w})
+		wsum += w
 	}
+	// Water-fill in ascending normalized-demand order: a job whose
+	// demand sits below its weighted fair level is fully served and its
+	// slack raises the level for the rest.
 	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].demand != recs[j].demand {
-			return recs[i].demand < recs[j].demand
+		di, dj := recs[i].demand/recs[i].weight, recs[j].demand/recs[j].weight
+		if di != dj {
+			return di < dj
 		}
 		return recs[i].id < recs[j].id
 	})
 	remaining := float64(total)
-	left := len(recs)
+	wleft := wsum
 	for _, r := range recs {
-		level := remaining / float64(left)
+		level := remaining * r.weight / wleft
 		grant := math.Min(r.demand, level)
 		a.RemoteIO[r.id] = unit.Bandwidth(grant)
 		remaining -= grant
-		left--
+		wleft -= r.weight
 	}
 	// Any slack (all demands met) stays unallocated; the data plane
 	// never throttles below demand anyway.

@@ -185,6 +185,7 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		submit := float64(spec.Submit)
 		s.q.Schedule(submit, func() { s.reschedule() })
 	}
+	s.met.initTenants(s.jobs)
 	s.met.submitAll(s.jobs)
 	inj, err := faults.NewInjector(cfg.Cluster, cfg.Faults, cfg.Metrics, cfg.Timeline)
 	if err != nil {
@@ -223,6 +224,7 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	s.inj.Finish(unit.Time(s.q.Now()))
 	s.met.flushBytes()
+	s.met.flushTenantTrained(s.jobs)
 	s.sample(true)
 	s.res.Makespan = s.lastFinish.Sub(0)
 	sort.Slice(s.res.Jobs, func(i, j int) bool { return s.res.Jobs[i].ID < s.res.Jobs[j].ID })
@@ -373,7 +375,7 @@ func (s *batchSim) reschedule() {
 				// Fault-driven preemption: the node (and the epoch's
 				// uncheckpointed progress) is gone.
 				s.rollback(bj)
-				s.inj.CountPreemptions(1)
+				s.inj.CountPreemptionsSLO(j.spec.SLO, 1)
 			}
 		}
 	}
@@ -440,8 +442,9 @@ func (s *batchSim) crash(bj *batchJob) {
 		j.running = false
 		j.gpus = 0
 		s.met.preemptions.Inc()
+		s.met.tenantPreempt(j.spec.Tenant)
 		s.met.tl.RecordAt(s.q.Now(), metrics.EventPreempt, j.spec.ID, 0, "crash")
-		s.inj.CountPreemptions(1)
+		s.inj.CountPreemptionsSLO(j.spec.SLO, 1)
 	}
 	s.rollback(bj)
 }
@@ -723,7 +726,7 @@ func (s *batchSim) computeDone(bj *batchJob) {
 		}
 		st := JobStat{ID: bj.rt.spec.ID, Submit: bj.rt.spec.Submit, Start: bj.rt.start, Finish: now}
 		s.res.Jobs = append(s.res.Jobs, st)
-		s.met.jobDone(now, st)
+		s.met.jobDone(now, st, bj.rt.spec.Tenant)
 		if bj.fetchEvent != nil {
 			s.q.Cancel(bj.fetchEvent)
 			bj.fetchEvent = nil

@@ -126,6 +126,7 @@ func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		s.byID[spec.ID] = j
 	}
 	s.met = newSimMetrics(cfg)
+	s.met.initTenants(s.jobs)
 	s.met.submitAll(s.jobs)
 	s.solvePure = policyPure(cfg.Policy)
 	inj, err := faults.NewInjector(cfg.Cluster, cfg.Faults, cfg.Metrics, cfg.Timeline)
@@ -146,6 +147,7 @@ func runFluid(cfg Config, specs []workload.JobSpec) (*Result, error) {
 		return nil, err
 	}
 	s.met.flushBytes()
+	s.met.flushTenantTrained(s.jobs)
 	s.res.Events = s.events
 	return s.res, nil
 }
@@ -234,7 +236,7 @@ func (s *fluidSim) reschedule() error {
 			// Fault-driven preemption: the node (and the epoch's
 			// uncheckpointed progress) is gone.
 			j.rollbackEpoch()
-			s.inj.CountPreemptions(1)
+			s.inj.CountPreemptionsSLO(j.spec.SLO, 1)
 		}
 		if j.running && !j.started {
 			j.started = true
@@ -341,8 +343,9 @@ func (s *fluidSim) applyFaults() {
 				j.running = false
 				j.gpus = 0
 				s.met.preemptions.Inc()
+				s.met.tenantPreempt(j.spec.Tenant)
 				s.met.tl.RecordAt(float64(s.now), metrics.EventPreempt, j.spec.ID, 0, "crash")
-				s.inj.CountPreemptions(1)
+				s.inj.CountPreemptionsSLO(j.spec.SLO, 1)
 				if s.placement != nil {
 					s.placement.Release(j.spec.ID)
 				}
@@ -734,7 +737,7 @@ func (s *fluidSim) loop() error {
 					}
 					st := JobStat{ID: j.spec.ID, Submit: j.spec.Submit, Start: j.start, Finish: j.finish}
 					s.res.Jobs = append(s.res.Jobs, st)
-					s.met.jobDone(s.now, st)
+					s.met.jobDone(s.now, st, j.spec.Tenant)
 					if s.placement != nil {
 						s.placement.Release(j.spec.ID)
 					}

@@ -291,6 +291,8 @@ func (j *jobRT) view() core.JobView {
 		RemainingBytes:  j.remaining,
 		AttainedBytes:   j.attained,
 		EffectiveCached: j.effCached,
+		Tenant:          j.spec.Tenant,
+		SLO:             j.spec.SLO,
 		Submit:          j.spec.Submit,
 		Running:         j.running,
 		Irregular:       j.spec.Curriculum != nil,

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/tenant"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// tenantRegistry mirrors experiments.TenantChaosRegistry: one tenant
+// per SLO class, the sheddable one quota-capped so the policy clamp is
+// exercised during the run.
+func tenantRegistry(t testing.TB) *tenant.Registry {
+	t.Helper()
+	reg := tenant.NewRegistry()
+	for _, tn := range []tenant.Tenant{
+		{ID: "acme", Class: tenant.Critical},
+		{ID: "beta", Class: tenant.Standard},
+		{ID: "gamma", Class: tenant.Sheddable, Quota: tenant.Quota{GPUs: 3, Egress: unit.MBpsOf(100)}},
+	} {
+		if err := reg.Register(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// tenantChaosJobs is the three-tenant, eight-job trace: two critical
+// ResNet-50 jobs sharing a dataset, two standard EfficientNetB1 jobs
+// sharing a dataset, four sheddable ResNet-50 jobs on private datasets.
+func tenantChaosJobs(t testing.TB) []workload.JobSpec {
+	t.Helper()
+	rn50, err := workload.ModelByName("ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := workload.ModelByName("EfficientNetB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, m workload.Model, ds workload.Dataset, ten string, slo tenant.SLOClass, epochs float64) workload.JobSpec {
+		spec := workload.JobSpec{ID: id, Model: m, Dataset: ds, NumGPUs: 1, Tenant: ten, SLO: slo}
+		spec.NumSteps = int64(epochs * float64(ds.Size) / float64(spec.StepBytesTotal()))
+		if spec.NumSteps < 1 {
+			spec.NumSteps = 1
+		}
+		return spec
+	}
+	critDS := workload.Dataset{Name: "crit-images", Size: unit.GiB(400)}
+	stdDS := workload.Dataset{Name: "std-images", Size: unit.GiB(400)}
+	jobs := []workload.JobSpec{
+		mk("crit-a", rn50, critDS, "acme", tenant.Critical, 6),
+		mk("crit-b", rn50, critDS, "acme", tenant.Critical, 6),
+		mk("std-a", eff, stdDS, "beta", tenant.Standard, 5),
+		mk("std-b", eff, stdDS, "beta", tenant.Standard, 5),
+	}
+	for i := 0; i < 4; i++ {
+		ds := workload.Dataset{Name: "shed-images-" + string(rune('a'+i)), Size: unit.GiB(300)}
+		jobs = append(jobs, mk("shed-"+string(rune('a'+i)), rn50, ds, "gamma", tenant.Sheddable, 4))
+	}
+	return jobs
+}
+
+// tenantChaosSchedule takes half the GPUs at t=2h and half the cache at
+// t=3h, restoring both at t=8h.
+func tenantChaosSchedule() *faults.Schedule {
+	return &faults.Schedule{Events: []faults.Event{
+		{At: unit.Time(2 * 3600), Kind: faults.KindGPULoss, GPUs: 4},
+		{At: unit.Time(3 * 3600), Kind: faults.KindCacheLoss, Cache: unit.GiB(512)},
+		{At: unit.Time(8 * 3600), Kind: faults.KindGPURestore, GPUs: 4},
+		{At: unit.Time(8 * 3600), Kind: faults.KindCacheRestore, Cache: unit.GiB(512)},
+	}}
+}
+
+// runTenantChaos runs the trace under the tenant-aware policy stack,
+// optionally with the chaos schedule, and returns result + registry.
+func runTenantChaos(t testing.TB, eng Engine, faulted bool) (*Result, *metrics.Registry) {
+	t.Helper()
+	pol, err := policy.BuildTenant(policy.FIFOKind, policy.SiloD, 7, tenantRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched *faults.Schedule
+	if faulted {
+		sched = tenantChaosSchedule()
+	}
+	reg := metrics.NewRegistry("test")
+	res, err := Run(Config{
+		Cluster: core.Cluster{GPUs: 8, Cache: unit.TiB(1), RemoteIO: unit.MBpsOf(200)},
+		Policy:  pol,
+		System:  policy.SiloD,
+		Engine:  eng,
+		Seed:    7,
+		Faults:  sched,
+		Metrics: reg,
+	}, tenantChaosJobs(t))
+	if err != nil {
+		t.Fatalf("%v faulted=%v: %v", eng, faulted, err)
+	}
+	return res, reg
+}
+
+// classMeans returns the mean JCT per SLO class of a run.
+func classMeans(t testing.TB, res *Result, jobs []workload.JobSpec) map[tenant.SLOClass]float64 {
+	t.Helper()
+	classOf := make(map[string]tenant.SLOClass, len(jobs))
+	for _, j := range jobs {
+		classOf[j.ID] = j.SLO
+	}
+	sums := map[tenant.SLOClass]float64{}
+	counts := map[tenant.SLOClass]int{}
+	for _, st := range res.Jobs {
+		c := classOf[st.ID]
+		sums[c] += float64(st.JCT())
+		counts[c]++
+	}
+	out := map[tenant.SLOClass]float64{}
+	for c, s := range sums {
+		out[c] = s / float64(counts[c])
+	}
+	return out
+}
+
+// TestMultiTenantChaosProtection is the tentpole acceptance check:
+// under a GPU+cache outage the critical tenant's mean JCT stays within
+// the fault-free envelope (the estimator's remote-IO-bound degradation
+// allowance) while the sheddable tenant absorbs every fault preemption
+// and the bulk of the slowdown, on both engines.
+func TestMultiTenantChaosProtection(t *testing.T) {
+	jobs := tenantChaosJobs(t)
+	for _, eng := range []Engine{Fluid, Batch} {
+		clean, _ := runTenantChaos(t, eng, false)
+		faulted, reg := runTenantChaos(t, eng, true)
+		requireAllJobs(t, faulted, jobs)
+
+		cm := classMeans(t, clean, jobs)
+		fm := classMeans(t, faulted, jobs)
+		critSlow := fm[tenant.Critical] / cm[tenant.Critical]
+		shedSlow := fm[tenant.Sheddable] / cm[tenant.Sheddable]
+		t.Logf("%v: critical %.2fx, standard %.2fx, sheddable %.2fx",
+			eng, critSlow, fm[tenant.Standard]/cm[tenant.Standard], shedSlow)
+
+		// Critical throughput within the fault-free envelope: its cache
+		// was protected, so the only permissible degradation is the
+		// estimator's remote-IO bound — a 10% JCT allowance here.
+		if critSlow > 1.10 {
+			t.Errorf("%v: critical-tier JCT degraded %.2fx under chaos, want <= 1.10x", eng, critSlow)
+		}
+		// The sheddable tenant must absorb a materially larger share of
+		// the lost capacity than the critical tier.
+		if shedSlow < critSlow+0.25 {
+			t.Errorf("%v: sheddable slowdown %.2fx does not absorb the loss (critical %.2fx)",
+				eng, shedSlow, critSlow)
+		}
+
+		snap := reg.Snapshot()
+		slo := func(c tenant.SLOClass) float64 {
+			return snap.CounterValue("silod_faults_slo_preemptions_total",
+				map[string]string{"slo": c.String()})
+		}
+		if v := slo(tenant.Critical); v != 0 {
+			t.Errorf("%v: %v critical-tier fault preemptions, want 0 (reverse-SLO order)", eng, v)
+		}
+		if v := slo(tenant.Sheddable); v < 1 {
+			t.Errorf("%v: no sheddable fault preemptions recorded under GPU loss", eng)
+		}
+		// Per-tenant trained-bytes counters must account for every
+		// tenant's full workload (all jobs finish despite the outage).
+		want := map[string]float64{}
+		for _, j := range jobs {
+			want[j.Tenant] += float64(j.TotalBytes())
+		}
+		for ten, w := range want {
+			got := snap.CounterValue("silod_tenant_trained_bytes_total", map[string]string{"tenant": ten})
+			if got < 0.99*w || got > 1.01*w {
+				t.Errorf("%v: tenant %s trained %.0f bytes, want ~%.0f", eng, ten, got, w)
+			}
+		}
+	}
+}
+
+// TestTenantChaosDeterminism: same seed, same schedule, same registry
+// shape — the per-tenant metric snapshot must be byte-identical run to
+// run on both engines.
+func TestTenantChaosDeterminism(t *testing.T) {
+	for _, eng := range []Engine{Fluid, Batch} {
+		var snaps [][]byte
+		for i := 0; i < 2; i++ {
+			_, reg := runTenantChaos(t, eng, true)
+			blob, err := json.Marshal(reg.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, blob)
+		}
+		if !bytes.Equal(snaps[0], snaps[1]) {
+			t.Errorf("%v: same-seed tenant chaos runs produced different metric snapshots", eng)
+		}
+	}
+}

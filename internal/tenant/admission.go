@@ -1,0 +1,201 @@
+package tenant
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/unit"
+)
+
+// OverQuotaError is the typed rejection Admit returns when a submission
+// would push its tenant over a quota. The control plane maps it to HTTP
+// 429; callers detect it with errors.As.
+type OverQuotaError struct {
+	Tenant   string
+	Resource string // "gpus" or "cache"
+	// Requested, InUse and Limit are in the resource's native unit
+	// (GPU count or bytes).
+	Requested int64
+	InUse     int64
+	Limit     int64
+}
+
+// Error implements error.
+func (e *OverQuotaError) Error() string {
+	return fmt.Sprintf("tenant %q over %s quota: requested %d with %d in use, limit %d",
+		e.Tenant, e.Resource, e.Requested, e.InUse, e.Limit)
+}
+
+// usage is one tenant's live resource footprint.
+type usage struct {
+	gpus     int
+	cache    unit.Bytes
+	jobs     int
+	datasets map[string]dsUse // distinct attached datasets, name -> refcount+size
+}
+
+type dsUse struct {
+	refs int
+	size unit.Bytes
+}
+
+// claim remembers what a job was charged so Release can refund it.
+type claim struct {
+	tenant  string
+	gpus    int
+	dataset string
+}
+
+// tenantMetrics are the per-tenant admission handles, interned eagerly
+// at construction so the metric snapshot's shape depends only on the
+// registered tenant set, never on which code paths a run happened to
+// take.
+type tenantMetrics struct {
+	admissions  *metrics.Counter // silod_tenant_admissions_total{tenant}
+	rejectGPUs  *metrics.Counter // silod_tenant_rejections_total{tenant,resource="gpus"}
+	rejectCache *metrics.Counter // silod_tenant_rejections_total{tenant,resource="cache"}
+	activeJobs  *metrics.Gauge   // silod_tenant_active_jobs{tenant}
+	gpusInUse   *metrics.Gauge   // silod_tenant_gpus_in_use{tenant}
+	cacheInUse  *metrics.Gauge   // silod_tenant_cache_in_use_bytes{tenant}
+}
+
+func newTenantMetrics(r *metrics.Registry, id string) *tenantMetrics {
+	return &tenantMetrics{
+		admissions:  r.Counter("silod_tenant_admissions_total", metrics.L("tenant", id)),
+		rejectGPUs:  r.Counter("silod_tenant_rejections_total", metrics.L("tenant", id), metrics.L("resource", "gpus")),
+		rejectCache: r.Counter("silod_tenant_rejections_total", metrics.L("tenant", id), metrics.L("resource", "cache")),
+		activeJobs:  r.Gauge("silod_tenant_active_jobs", metrics.L("tenant", id)),
+		gpusInUse:   r.Gauge("silod_tenant_gpus_in_use", metrics.L("tenant", id)),
+		cacheInUse:  r.Gauge("silod_tenant_cache_in_use_bytes", metrics.L("tenant", id)),
+	}
+}
+
+// Admission enforces per-tenant GPU and cache quotas at submission
+// time. GPUs are charged by requested gang size for the job's whole
+// lifetime (admission control reasons about entitlement, not the
+// instantaneous schedule); cache is charged once per distinct dataset a
+// tenant has attached, mirroring how the allocator charges shared
+// datasets once. Egress quotas are enforced continuously by the policy
+// layer, not at admission.
+type Admission struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	use   map[string]*usage // guarded by mu, keyed by tenant ID
+	byJob map[string]claim  // guarded by mu, keyed by job ID
+
+	met map[string]*tenantMetrics // immutable after construction
+}
+
+// NewAdmission builds an admission controller over the registry's
+// current tenant set, interning per-tenant metric handles for every
+// registered tenant. mr may be nil (all instrumentation free no-ops).
+func NewAdmission(reg *Registry, mr *metrics.Registry) *Admission {
+	a := &Admission{
+		reg:   reg,
+		use:   make(map[string]*usage),
+		byJob: make(map[string]claim),
+		met:   make(map[string]*tenantMetrics),
+	}
+	for _, t := range reg.List() {
+		a.use[t.ID] = &usage{datasets: make(map[string]dsUse)}
+		a.met[t.ID] = newTenantMetrics(mr, t.ID)
+	}
+	return a
+}
+
+// Admit charges one job against its tenant's quotas, rejecting with a
+// typed *OverQuotaError when a quota would be exceeded. Unknown tenants
+// fail with a plain error (a 400, not a 429: the request is malformed,
+// not rate-limited). Admitting the same job ID twice is an error.
+func (a *Admission) Admit(tenantID, jobID string, gpus int, dataset string, datasetBytes unit.Bytes) error {
+	t, ok := a.reg.Get(tenantID)
+	if !ok {
+		return fmt.Errorf("tenant: unknown tenant %q", tenantID)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.byJob[jobID]; dup {
+		return fmt.Errorf("tenant: job %q already admitted", jobID)
+	}
+	u := a.use[tenantID]
+	m := a.met[tenantID]
+	if t.Quota.GPUs > 0 && u.gpus+gpus > t.Quota.GPUs {
+		m.rejectGPUs.Inc()
+		return &OverQuotaError{
+			Tenant: tenantID, Resource: "gpus",
+			Requested: int64(gpus), InUse: int64(u.gpus), Limit: int64(t.Quota.GPUs),
+		}
+	}
+	newBytes := unit.Bytes(0)
+	if _, have := u.datasets[dataset]; !have {
+		newBytes = datasetBytes
+	}
+	if t.Quota.Cache > 0 && u.cache+newBytes > t.Quota.Cache {
+		m.rejectCache.Inc()
+		return &OverQuotaError{
+			Tenant: tenantID, Resource: "cache",
+			Requested: int64(newBytes), InUse: int64(u.cache), Limit: int64(t.Quota.Cache),
+		}
+	}
+	u.gpus += gpus
+	u.jobs++
+	du := u.datasets[dataset]
+	du.refs++
+	du.size = datasetBytes
+	u.datasets[dataset] = du
+	u.cache += newBytes
+	a.byJob[jobID] = claim{tenant: tenantID, gpus: gpus, dataset: dataset}
+	m.admissions.Inc()
+	a.publishLocked(tenantID)
+	return nil
+}
+
+// Release refunds a finished (or crashed) job's charges. Unknown job
+// IDs are ignored so completion paths need not track admission state.
+func (a *Admission) Release(jobID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.byJob[jobID]
+	if !ok {
+		return
+	}
+	delete(a.byJob, jobID)
+	u := a.use[c.tenant]
+	u.gpus -= c.gpus
+	u.jobs--
+	du := u.datasets[c.dataset]
+	du.refs--
+	if du.refs <= 0 {
+		delete(u.datasets, c.dataset)
+		u.cache -= du.size
+		if u.cache < 0 {
+			u.cache = 0
+		}
+	} else {
+		u.datasets[c.dataset] = du
+	}
+	a.publishLocked(c.tenant)
+}
+
+// Usage reports a tenant's current footprint: active jobs, GPUs in use,
+// and charged cache bytes.
+func (a *Admission) Usage(tenantID string) (jobs, gpus int, cache unit.Bytes) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u, ok := a.use[tenantID]
+	if !ok {
+		return 0, 0, 0
+	}
+	return u.jobs, u.gpus, u.cache
+}
+
+// publishLocked refreshes the tenant's usage gauges. Callers hold a.mu.
+func (a *Admission) publishLocked(tenantID string) {
+	u := a.use[tenantID]
+	m := a.met[tenantID]
+	m.activeJobs.Set(float64(u.jobs))
+	m.gpusInUse.Set(float64(u.gpus))
+	m.cacheInUse.Set(float64(u.cache))
+}

@@ -1,0 +1,170 @@
+// Package tenant makes resource ownership first-class: tenants carry an
+// SLO class (critical / standard / sheddable) and per-tenant quotas for
+// the three SiloD resources (GPUs, cache capacity, remote egress). A
+// deterministic Registry holds the tenant set and an Admission
+// controller enforces GPU/cache quotas at job-submission time with a
+// typed, 429-style rejection. Policies weight the cache-allocation
+// greedy (Algorithm 2) and the remote-IO split by SLO class, and fault
+// preemption drains tenants in reverse-SLO order (sheddable first) so
+// critical tenants stay inside the fault-free envelope.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/unit"
+)
+
+// SLOClass is a tenant's service tier. The zero value is Standard so an
+// untenanted job (empty tenant ID, zero class) behaves exactly like the
+// flat pool did before multi-tenancy existed.
+type SLOClass int
+
+// The service tiers, best-protected first at preemption time.
+const (
+	Standard SLOClass = iota
+	Critical
+	Sheddable
+)
+
+// String implements fmt.Stringer.
+func (c SLOClass) String() string {
+	switch c {
+	case Critical:
+		return "critical"
+	case Sheddable:
+		return "sheddable"
+	default:
+		return "standard"
+	}
+}
+
+// ParseSLO inverts String.
+func ParseSLO(s string) (SLOClass, error) {
+	switch s {
+	case "critical":
+		return Critical, nil
+	case "standard", "":
+		return Standard, nil
+	case "sheddable":
+		return Sheddable, nil
+	}
+	return Standard, fmt.Errorf("tenant: unknown SLO class %q (want critical, standard or sheddable)", s)
+}
+
+// Rank orders classes for admission and preemption: lower ranks are
+// admitted first and preempted last, so on capacity loss the re-solve
+// drops sheddable jobs before standard before critical.
+func (c SLOClass) Rank() int {
+	switch c {
+	case Critical:
+		return 0
+	case Sheddable:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Weight is the multiplier applied to a job's cache efficiency and its
+// remote-IO fair share. Standard weighs 1 so a single-class cluster is
+// numerically identical to the unweighted allocators.
+func (c SLOClass) Weight() float64 {
+	switch c {
+	case Critical:
+		return 2
+	case Sheddable:
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+// Classes lists every SLO class, best-protected first — the order
+// consumers intern per-class metric series in.
+func Classes() []SLOClass {
+	return []SLOClass{Critical, Standard, Sheddable}
+}
+
+// Quota bounds one tenant's slice of the cluster. A zero or negative
+// value leaves that dimension unlimited, so Quota{} is "no quotas".
+type Quota struct {
+	GPUs   int            // concurrent gang GPUs across the tenant's active jobs
+	Cache  unit.Bytes     // total footprint of the tenant's distinct datasets
+	Egress unit.Bandwidth // aggregate remote-IO bandwidth across running jobs
+}
+
+// Tenant is one registered resource owner.
+type Tenant struct {
+	ID    string
+	Class SLOClass
+	Quota Quota
+}
+
+// Registry is the deterministic tenant catalog. Registration happens
+// before a run or server starts serving; lookups are concurrency-safe
+// and List is sorted so every consumer iterates tenants in the same
+// order regardless of registration order.
+type Registry struct {
+	mu      sync.Mutex
+	tenants map[string]Tenant // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]Tenant)}
+}
+
+// Register adds a tenant. Duplicate or empty IDs fail: the ID is the
+// metric label and admission key, so it must be unique and non-empty.
+func (r *Registry) Register(t Tenant) error {
+	if t.ID == "" {
+		return fmt.Errorf("tenant: register with empty ID")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[t.ID]; ok {
+		return fmt.Errorf("tenant: %q already registered", t.ID)
+	}
+	r.tenants[t.ID] = t
+	return nil
+}
+
+// Get looks up a tenant by ID.
+func (r *Registry) Get(id string) (Tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[id]
+	return t, ok
+}
+
+// ClassOf returns the SLO class for id, Standard when the tenant is
+// unknown — the flat-pool default.
+func (r *Registry) ClassOf(id string) SLOClass {
+	t, ok := r.Get(id)
+	if !ok {
+		return Standard
+	}
+	return t.Class
+}
+
+// List returns all tenants sorted by ID.
+func (r *Registry) List() []Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of registered tenants.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tenants)
+}

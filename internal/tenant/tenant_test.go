@@ -1,0 +1,190 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/unit"
+)
+
+func TestSLOClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseSLO(c.String())
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseSLO(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if got, err := ParseSLO(""); err != nil || got != Standard {
+		t.Errorf("ParseSLO(\"\") = %v, %v; want Standard, nil", got, err)
+	}
+	if _, err := ParseSLO("platinum"); err == nil {
+		t.Error("ParseSLO accepted an unknown class")
+	}
+}
+
+func TestSLOClassOrdering(t *testing.T) {
+	if !(Critical.Rank() < Standard.Rank() && Standard.Rank() < Sheddable.Rank()) {
+		t.Errorf("rank order broken: critical %d, standard %d, sheddable %d",
+			Critical.Rank(), Standard.Rank(), Sheddable.Rank())
+	}
+	if !(Critical.Weight() > Standard.Weight() && Standard.Weight() > Sheddable.Weight()) {
+		t.Errorf("weight order broken: critical %v, standard %v, sheddable %v",
+			Critical.Weight(), Standard.Weight(), Sheddable.Weight())
+	}
+	if Standard.Weight() != 1 {
+		t.Errorf("standard weight = %v, want exactly 1 (float-identical defaults)", Standard.Weight())
+	}
+	var zero SLOClass
+	if zero != Standard {
+		t.Error("zero SLOClass is not Standard: untenanted jobs would not be neutral")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Tenant{ID: "zeta", Class: Sheddable}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Tenant{ID: "acme", Class: Critical, Quota: Quota{GPUs: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Tenant{ID: "acme"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := r.Register(Tenant{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].ID != "acme" || list[1].ID != "zeta" {
+		t.Errorf("List not sorted by ID: %+v", list)
+	}
+	if tn, ok := r.Get("acme"); !ok || tn.Quota.GPUs != 4 {
+		t.Errorf("Get(acme) = %+v, %v", tn, ok)
+	}
+	if c := r.ClassOf("zeta"); c != Sheddable {
+		t.Errorf("ClassOf(zeta) = %v", c)
+	}
+	if c := r.ClassOf("nobody"); c != Standard {
+		t.Errorf("ClassOf(unknown) = %v, want Standard", c)
+	}
+}
+
+func admissionFixture(t *testing.T) (*Admission, *metrics.Registry) {
+	t.Helper()
+	r := NewRegistry()
+	if err := r.Register(Tenant{ID: "capped", Class: Sheddable,
+		Quota: Quota{GPUs: 4, Cache: unit.GiB(100)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Tenant{ID: "open", Class: Critical}); err != nil {
+		t.Fatal(err)
+	}
+	mr := metrics.NewRegistry("test")
+	return NewAdmission(r, mr), mr
+}
+
+func TestAdmissionGPUQuota(t *testing.T) {
+	a, mr := admissionFixture(t)
+	if err := a.Admit("capped", "j1", 3, "ds", unit.GiB(10)); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Admit("capped", "j2", 2, "ds", unit.GiB(10))
+	var oq *OverQuotaError
+	if !errors.As(err, &oq) {
+		t.Fatalf("over-quota admit returned %v, want *OverQuotaError", err)
+	}
+	if oq.Resource != "gpus" || oq.Requested != 2 || oq.InUse != 3 || oq.Limit != 4 {
+		t.Errorf("error fields = %+v", oq)
+	}
+	snap := mr.Snapshot()
+	if v := snap.CounterValue("silod_tenant_rejections_total",
+		map[string]string{"tenant": "capped", "resource": "gpus"}); v != 1 {
+		t.Errorf("gpu rejection counter = %v, want 1", v)
+	}
+	// Releasing the first job frees the quota for the second.
+	a.Release("j1")
+	if err := a.Admit("capped", "j2", 2, "ds", unit.GiB(10)); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestAdmissionSharedDatasetCharging(t *testing.T) {
+	a, _ := admissionFixture(t)
+	// Two jobs on the same 80 GiB dataset: cache is charged once, so the
+	// second admit fits inside the 100 GiB quota.
+	if err := a.Admit("capped", "j1", 1, "shared", unit.GiB(80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("capped", "j2", 1, "shared", unit.GiB(80)); err != nil {
+		t.Fatalf("shared dataset double-charged: %v", err)
+	}
+	if _, _, cache := a.Usage("capped"); cache != unit.GiB(80) {
+		t.Errorf("cache usage = %v, want 80 GiB (charged once)", cache)
+	}
+	// A third job on a distinct dataset that would exceed the quota is
+	// rejected on the cache resource.
+	err := a.Admit("capped", "j3", 1, "private", unit.GiB(30))
+	var oq *OverQuotaError
+	if !errors.As(err, &oq) || oq.Resource != "cache" {
+		t.Fatalf("distinct-dataset overflow returned %v", err)
+	}
+	// Releasing one sharer keeps the charge; releasing both refunds it.
+	a.Release("j1")
+	if _, _, cache := a.Usage("capped"); cache != unit.GiB(80) {
+		t.Errorf("cache after one release = %v, want 80 GiB", cache)
+	}
+	a.Release("j2")
+	if jobs, gpus, cache := a.Usage("capped"); jobs != 0 || gpus != 0 || cache != 0 {
+		t.Errorf("usage after full release = %d jobs, %d gpus, %v cache", jobs, gpus, cache)
+	}
+}
+
+func TestAdmissionErrors(t *testing.T) {
+	a, mr := admissionFixture(t)
+	if err := a.Admit("ghost", "j1", 1, "ds", 0); err == nil {
+		t.Error("unknown tenant admitted")
+	} else {
+		var oq *OverQuotaError
+		if errors.As(err, &oq) {
+			t.Error("unknown tenant produced an OverQuotaError (should be a plain 400-style error)")
+		}
+	}
+	if err := a.Admit("open", "j1", 1, "ds", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("open", "j1", 1, "ds", 0); err == nil {
+		t.Error("duplicate job ID admitted")
+	}
+	a.Release("never-admitted") // must be a no-op, not a panic
+	snap := mr.Snapshot()
+	if v := snap.CounterValue("silod_tenant_admissions_total",
+		map[string]string{"tenant": "open"}); v != 1 {
+		t.Errorf("admissions counter = %v, want 1", v)
+	}
+	if ms, ok := snap.Get("silod_tenant_active_jobs", map[string]string{"tenant": "open"}); !ok || ms.Value == nil || *ms.Value != 1 {
+		t.Errorf("active jobs gauge = %+v, %v; want 1", ms, ok)
+	}
+}
+
+// TestAdmissionNilMetrics: instrumentation must be optional.
+func TestAdmissionNilMetrics(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Tenant{ID: "a", Class: Standard, Quota: Quota{GPUs: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmission(r, nil)
+	if err := a.Admit("a", "j", 1, "ds", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("a", "k", 1, "ds", 0); err == nil {
+		t.Error("quota not enforced with nil metrics registry")
+	}
+	a.Release("j")
+}

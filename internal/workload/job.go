@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/tenant"
 	"repro/internal/unit"
 )
 
@@ -46,6 +47,11 @@ type JobSpec struct {
 	Model   Model
 	Dataset Dataset
 	NumGPUs int
+	// Tenant is the owning tenant's ID; empty means the untenanted flat
+	// pool. SLO is the tenant's service tier, copied onto the spec so
+	// engines and policies need no registry lookup on the hot path.
+	Tenant string
+	SLO    tenant.SLOClass
 	// NumSteps is the total number of mini-batches the job trains. With
 	// data parallelism each step consumes Model.StepBytes per GPU.
 	NumSteps int64
