@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	silodlint [-root dir] [-allow file] [-disable a,b] [-list] [-json] [-v]
+//	silodlint [-root dir] [-allow file] [-disable a,b] [-workers n] [-list] [-json] [-v]
 //
 // Diagnostics print one per line as
 //
@@ -54,8 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as one JSON object per line")
+	workers := fs.Int("workers", 0, "analysis worker goroutines (0 = GOMAXPROCS, 1 = sequential); output is identical either way")
 	verbose := fs.Bool("v", false, "print load/run statistics to stderr")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(stderr, "silodlint: -workers must be >= 0")
 		return 2
 	}
 	if *list {
@@ -65,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := lint.Options{Disable: map[string]bool{}}
+	opts := lint.Options{Disable: map[string]bool{}, Workers: *workers}
 	for _, name := range strings.Split(*disable, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -127,8 +132,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, r := range allow.Unused() {
 		fmt.Fprintf(stderr, "silodlint: stale allow rule (matched nothing): %s: %s %s\n", r.Source, r.Analyzer, r.Path)
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "silodlint: %d finding(s)\n", findings)
+	bad := allow.Unjustified()
+	for _, r := range bad {
+		fmt.Fprintf(stderr, "silodlint: allow rule without a justification comment: %s: %s %s\n", r.Source, r.Analyzer, r.Path)
+	}
+	if findings > 0 || len(bad) > 0 {
+		if findings > 0 {
+			fmt.Fprintf(stderr, "silodlint: %d finding(s)\n", findings)
+		}
 		return 1
 	}
 	return 0

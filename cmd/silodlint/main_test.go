@@ -41,12 +41,15 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/runner/runner\.go:\d+:\d+: lockcheck: read of p\.results without holding p\.mu`,
 		`(?m)^internal/tenant/tenant\.go:\d+:\d+: lockcheck: write to r\.tenants without holding r\.mu`,
 		`(?m)^internal/tenant/tenant\.go:\d+:\d+: errflow: error value assigned to _`,
+		`(?m)^internal/policy/policy\.go:\d+:\d+: maporder: float accumulation into total in map iteration order`,
+		`(?m)^internal/policy/policy\.go:\d+:\d+: purecheck: silod:pure function Score calls time\.Now`,
+		`(?m)^internal/policy/policy\.go:\d+:\d+: hotalloc: silod:hotpath function Hot allocates: make`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "14 finding(s)") {
+	if !strings.Contains(stderr, "17 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -62,6 +65,7 @@ func TestAllowlistSilences(t *testing.T) {
 		"* internal/faults/faults.go\n" +
 		"* internal/runner/runner.go\n" +
 		"* internal/tenant/tenant.go\n" +
+		"* internal/policy/policy.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -82,7 +86,7 @@ func TestAllowlistSilences(t *testing.T) {
 // clean exit.
 func TestDisableFlag(t *testing.T) {
 	code, stdout, stderr := runLint(t, "-root", badmod,
-		"-disable", "wallclock,rngpurity,lockcheck,lockorder,goleak,errflow")
+		"-disable", "wallclock,rngpurity,lockcheck,lockorder,goleak,errflow,maporder,purecheck,hotalloc")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
 	}
@@ -102,6 +106,7 @@ func TestListFlag(t *testing.T) {
 	for _, name := range []string{
 		"wallclock", "rngpurity", "unitsafety", "metricnames", "floatcmp",
 		"lockcheck", "lockorder", "goleak", "errflow",
+		"maporder", "purecheck", "hotalloc",
 	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
@@ -117,8 +122,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 14 {
-		t.Fatalf("got %d JSON lines, want 14:\n%s", len(lines), stdout)
+	if len(lines) != 17 {
+		t.Fatalf("got %d JSON lines, want 17:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -131,7 +136,7 @@ func TestJSONOutput(t *testing.T) {
 		}
 		byAnalyzer[d.Analyzer] = d
 	}
-	for _, want := range []string{"wallclock", "rngpurity", "lockcheck", "lockorder", "goleak", "errflow"} {
+	for _, want := range []string{"wallclock", "rngpurity", "lockcheck", "lockorder", "goleak", "errflow", "maporder", "purecheck", "hotalloc"} {
 		if _, ok := byAnalyzer[want]; !ok {
 			t.Errorf("no %s finding in JSON output:\n%s", want, stdout)
 		}
@@ -149,5 +154,48 @@ func TestBadRoot(t *testing.T) {
 	code, _, stderr := runLint(t, "-root", t.TempDir())
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}
+
+// TestUnjustifiedAllowRule: a rule with no #-comment directly above
+// its block fails the run even when every finding is covered.
+func TestUnjustifiedAllowRule(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "lint.allow")
+	content := "# the module is known-bad end to end\n" +
+		"* internal/...\n" +
+		"\n" +
+		"errflow internal/tenant/tenant.go\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runLint(t, "-root", badmod, "-allow", allow)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("covered findings should not print, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "allow rule without a justification comment") ||
+		!strings.Contains(stderr, "errflow internal/tenant/tenant.go") {
+		t.Errorf("stderr missing unjustified-rule report, got:\n%s", stderr)
+	}
+	if n := strings.Count(stderr, "without a justification comment"); n != 1 {
+		t.Errorf("want exactly the blank-line-separated rule reported, got %d:\n%s", n, stderr)
+	}
+}
+
+// TestWorkersDeterministic pins the parallel driver's contract: the
+// findings stream is byte-identical at any worker count.
+func TestWorkersDeterministic(t *testing.T) {
+	code1, out1, _ := runLint(t, "-root", badmod, "-workers", "1")
+	code4, out4, _ := runLint(t, "-root", badmod, "-workers", "4")
+	if code1 != 1 || code4 != 1 {
+		t.Fatalf("exit codes = %d, %d, want 1, 1", code1, code4)
+	}
+	if out1 != out4 {
+		t.Errorf("-workers=1 and -workers=4 diverge:\n--- workers=1\n%s--- workers=4\n%s", out1, out4)
+	}
+	if code, _, stderr := runLint(t, "-root", badmod, "-workers", "-1"); code != 2 {
+		t.Fatalf("negative workers: exit code = %d, want 2\nstderr:\n%s", code, stderr)
 	}
 }

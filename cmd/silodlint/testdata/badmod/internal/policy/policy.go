@@ -1,0 +1,34 @@
+// Package policy is the badmod slice for the dataflow analyzers: a
+// float sum in map iteration order, a // silod:pure function that
+// reads the wall clock, and a // silod:hotpath function that
+// allocates.
+package policy
+
+import "time"
+
+// RequiredIO sums in map iteration order — the pre-PR-5 form the
+// maporder analyzer exists to keep out of the tree.
+func RequiredIO(rates map[string]float64) float64 {
+	var total float64
+	for _, r := range rates {
+		total += r
+	}
+	return total
+}
+
+// Score claims purity but consults the wall clock.
+//
+// silod:pure
+func Score(x float64) float64 {
+	_ = time.Now()
+	return x
+}
+
+// Hot claims to be an inner loop but allocates a fresh buffer per
+// call.
+//
+// silod:hotpath
+func Hot(n int) []int {
+	buf := make([]int, n)
+	return buf
+}

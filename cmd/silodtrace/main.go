@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/stats"
@@ -102,8 +103,13 @@ func analyzeTrace(path string) error {
 		weightedEff += j.CacheEfficiency() * float64(j.TotalBytes())
 	}
 	var dsBytes unit.Bytes
-	for _, s := range datasets {
-		dsBytes += s
+	dsNames := make([]string, 0, len(datasets))
+	for name := range datasets {
+		dsNames = append(dsNames, name)
+	}
+	sort.Strings(dsNames)
+	for _, name := range dsNames {
+		dsBytes += datasets[name]
 	}
 	window := jobs[len(jobs)-1].Submit.Sub(jobs[0].Submit)
 	fmt.Printf("jobs:              %d over %.1f h\n", len(jobs), window.Minutes()/60)

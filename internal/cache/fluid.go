@@ -16,6 +16,8 @@ type FluidStream struct {
 
 // epochPeriod returns the re-access period T = d/f of a block, or +Inf
 // for an idle stream.
+//
+// silod:pure
 func (s FluidStream) epochPeriod() float64 {
 	if s.Rate <= 0 {
 		return math.Inf(1)
@@ -27,6 +29,8 @@ func (s FluidStream) epochPeriod() float64 {
 // epoch-shuffled exactly-once access: if a block lands at uniform
 // positions in two consecutive epochs of length T, the gap is
 // T·(1 - U1 + U2), triangular on (0, 2T). x is the gap, T the period.
+//
+// silod:pure
 func gapCDF(x, T float64) float64 {
 	if T <= 0 || math.IsInf(T, 1) {
 		return 0
@@ -46,6 +50,7 @@ func gapCDF(x, T float64) float64 {
 
 // gapSurvivalIntegral is ∫₀^y (1 - F(x)) dx for the triangular gap CDF,
 // used for the stationary "age < τ" occupancy probability.
+// silod:pure
 func gapSurvivalIntegral(y, T float64) float64 {
 	if T <= 0 || math.IsInf(T, 1) {
 		return 0
@@ -68,6 +73,7 @@ func gapSurvivalIntegral(y, T float64) float64 {
 
 // occupancy returns the stationary probability that a block of a stream
 // with period T is in an LRU cache with characteristic time τ.
+// silod:pure
 func occupancy(tau, T float64) float64 {
 	if math.IsInf(T, 1) {
 		return 0
@@ -85,6 +91,11 @@ func occupancy(tau, T float64) float64 {
 // aggregate working set exceeds capacity, and faster (more
 // cache-efficient) jobs indirectly receiving more cache because their
 // blocks are re-touched sooner (§7.1.2).
+//
+// The Che fixed point is a deterministic function of (capacity,
+// streams); the simulator replays it byte-identically.
+//
+// silod:pure
 func CheLRU(capacity unit.Bytes, streams []FluidStream) []float64 {
 	hits := make([]float64, len(streams))
 	if capacity <= 0 || len(streams) == 0 {

@@ -341,10 +341,17 @@ func (s *SchedulerServer) effectiveClusterLocked() core.Cluster {
 	if len(s.nodes) == 0 {
 		return eff
 	}
+	// Sorted-id sum: the cache total is a float (unit.Bytes) and must
+	// not vary with per-process map iteration order.
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	gpus := 0
 	var cache unit.Bytes
-	for _, n := range s.nodes {
-		if n.live {
+	for _, id := range ids {
+		if n := s.nodes[id]; n.live {
 			gpus += n.gpus
 			cache += n.cache
 		}

@@ -29,6 +29,8 @@ type Cluster struct {
 }
 
 // Validate reports whether the cluster description is usable.
+//
+// silod:pure
 func (c Cluster) Validate() error {
 	if c.GPUs <= 0 {
 		return fmt.Errorf("core: cluster with %d GPUs", c.GPUs)
@@ -91,6 +93,8 @@ type Assignment struct {
 }
 
 // NewAssignment returns an empty assignment.
+//
+// silod:pure
 func NewAssignment() Assignment {
 	return Assignment{
 		GPUs:       make(map[string]int),
@@ -104,6 +108,9 @@ func NewAssignment() Assignment {
 // scheduling rounds instead of reallocating; the returned value shares
 // the receiver's maps, so a recycled Assignment is valid only until the
 // policy's next Assign call.
+//
+// silod:pure
+// silod:hotpath
 func (a *Assignment) Reset() Assignment {
 	if a.GPUs == nil {
 		*a = NewAssignment()
@@ -117,6 +124,8 @@ func (a *Assignment) Reset() Assignment {
 
 // Merge folds other into a (keys in other win). Used to combine the
 // regular and irregular partitions.
+//
+// silod:pure
 func (a Assignment) Merge(other Assignment) Assignment {
 	for k, v := range other.GPUs {
 		a.GPUs[k] = v
@@ -134,6 +143,8 @@ func (a Assignment) Merge(other Assignment) Assignment {
 // no oversubscription, no grants to unknown jobs, gang-or-nothing GPU
 // grants. Policies are validated in tests and the simulator validates
 // at every rescheduling point, so allocation bugs fail loudly.
+//
+// silod:pure
 func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 	byID := make(map[string]JobView, len(jobs))
 	for _, j := range jobs {
@@ -153,8 +164,16 @@ func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 	if gpus > c.GPUs {
 		return fmt.Errorf("core: %d GPUs granted, cluster has %d", gpus, c.GPUs)
 	}
+	// Sum in sorted key order: float addition is not associative, and
+	// Validate's totals must not vary with per-process map order.
 	var cacheSum unit.Bytes
-	for key, q := range a.CacheQuota {
+	cacheKeys := make([]string, 0, len(a.CacheQuota))
+	for key := range a.CacheQuota {
+		cacheKeys = append(cacheKeys, key)
+	}
+	sort.Strings(cacheKeys)
+	for _, key := range cacheKeys {
+		q := a.CacheQuota[key]
 		if q < 0 {
 			return fmt.Errorf("core: negative cache quota %v for %q", q, key)
 		}
@@ -164,7 +183,13 @@ func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 		return fmt.Errorf("core: %v cache granted, cluster has %v", cacheSum, c.Cache)
 	}
 	var ioSum unit.Bandwidth
-	for id, bw := range a.RemoteIO {
+	ioIDs := make([]string, 0, len(a.RemoteIO))
+	for id := range a.RemoteIO {
+		ioIDs = append(ioIDs, id)
+	}
+	sort.Strings(ioIDs)
+	for _, id := range ioIDs {
+		bw := a.RemoteIO[id]
 		if bw < 0 {
 			return fmt.Errorf("core: negative remote IO %v for %q", bw, id)
 		}
@@ -216,7 +241,12 @@ type Framework struct {
 	Fallback Policy
 }
 
-// Schedule implements Algorithm 1 over both partitions.
+// Schedule implements Algorithm 1 over both partitions. The clock
+// parameter is forwarded to the partition policies untouched; whether
+// the whole framework is pure is their call (frameworkPolicy's
+// PureAssign asks policyPure for both).
+//
+// silod:pure assume=Policy
 func (f *Framework) Schedule(c Cluster, now unit.Time, jobs []JobView) (Assignment, error) {
 	if err := c.Validate(); err != nil {
 		return Assignment{}, err
@@ -281,6 +311,8 @@ func (f *Framework) Schedule(c Cluster, now unit.Time, jobs []JobView) (Assignme
 }
 
 // gpuDemand sums gang sizes.
+//
+// silod:pure
 func gpuDemand(jobs []JobView) int {
 	var s int
 	for _, j := range jobs {
@@ -292,6 +324,8 @@ func gpuDemand(jobs []JobView) int {
 // equalShareFallback grants GPUs in submit order and splits the
 // partition's storage equally among admitted jobs, charging shared
 // datasets once.
+//
+// silod:pure
 func equalShareFallback(c Cluster, jobs []JobView) Assignment {
 	a := NewAssignment()
 	sorted := append([]JobView(nil), jobs...)
@@ -334,6 +368,8 @@ func equalShareFallback(c Cluster, jobs []JobView) Assignment {
 // under scarcity protects higher tiers, and on GPU loss the re-solve
 // drops sheddable jobs first. Single-class job sets (the untenanted
 // default) reduce to the original submit-then-ID order.
+//
+// silod:pure
 func SortJobs(jobs []JobView) []JobView {
 	out := append([]JobView(nil), jobs...)
 	sort.Slice(out, func(i, j int) bool {
@@ -366,6 +402,8 @@ func (p frameworkPolicy) Name() string {
 }
 
 // Assign implements Policy.
+//
+// silod:pure assume=Policy
 func (p frameworkPolicy) Assign(c Cluster, now unit.Time, jobs []JobView) Assignment {
 	a, err := p.f.Schedule(c, now, jobs)
 	if err != nil {
@@ -377,6 +415,8 @@ func (p frameworkPolicy) Assign(c Cluster, now unit.Time, jobs []JobView) Assign
 // PureAssign implements PureAssigner: the framework is pure when every
 // policy it may delegate to is pure (the built-in equal-share fallback
 // used when Fallback is nil is a pure function already).
+//
+// silod:pure-requires: (*Framework).Schedule, equalShareFallback
 func (p frameworkPolicy) PureAssign() bool {
 	if !policyPure(p.f.Policy) {
 		return false

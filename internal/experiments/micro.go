@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -270,8 +271,14 @@ func Figure4(o Options) (*Figure4Result, error) {
 	}
 	res := &Figure4Result{SiloDSpeeds: speeds(sres), QuiverSpeeds: speeds(qres)}
 	avgMin := func(m map[string]float64) (avg, mn float64) {
+		ids := make([]string, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
 		mn = 1e18
-		for _, v := range m {
+		for _, id := range ids {
+			v := m[id]
 			avg += v
 			if v < mn {
 				mn = v

@@ -20,12 +20,19 @@ import (
 // a whole subtree, and an optional ":<line>" pins the rule to a line
 // (omit it to survive unrelated edits to the file). Blank lines and
 // #-comments are ignored.
+//
+// Every rule must carry a justification: a #-comment on the line(s)
+// directly above it. The comment covers every rule until the next
+// blank line, so one comment can justify a small group. Rules with no
+// adjacent comment are reported by Unjustified and fail the lint gate
+// — an exception nobody can explain is a bug waiting to be grandfathered.
 type AllowRule struct {
-	Analyzer string // analyzer name or "*"
-	Path     string // glob, or prefix ending in "/..."
-	Line     int    // 0 = any line
-	Substr   string // "" = any message
-	Source   string // file:line of the rule, for stale-rule reports
+	Analyzer  string // analyzer name or "*"
+	Path      string // glob, or prefix ending in "/..."
+	Line      int    // 0 = any line
+	Substr    string // "" = any message
+	Source    string // file:line of the rule, for stale-rule reports
+	Justified bool   // a #-comment directly precedes this rule's block
 }
 
 // Allowlist is a parsed lint.allow file.
@@ -55,10 +62,16 @@ func ParseAllow(r io.Reader, name string) (*Allowlist, error) {
 	al := &Allowlist{}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
+	justified := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			justified = false
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			justified = true
 			continue
 		}
 		fields := strings.Fields(line)
@@ -66,10 +79,11 @@ func ParseAllow(r io.Reader, name string) (*Allowlist, error) {
 			return nil, fmt.Errorf("%s:%d: want \"<analyzer|*> <path-glob>[:<line>] [substring]\", got %q", name, lineNo, line)
 		}
 		rule := AllowRule{
-			Analyzer: fields[0],
-			Path:     fields[1],
-			Substr:   strings.Join(fields[2:], " "),
-			Source:   fmt.Sprintf("%s:%d", name, lineNo),
+			Analyzer:  fields[0],
+			Path:      fields[1],
+			Substr:    strings.Join(fields[2:], " "),
+			Source:    fmt.Sprintf("%s:%d", name, lineNo),
+			Justified: justified,
 		}
 		if rule.Analyzer != "*" && ByName(rule.Analyzer) == nil {
 			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", name, lineNo, rule.Analyzer)
@@ -112,6 +126,18 @@ func (al *Allowlist) Allows(d Diagnostic) bool {
 		return true
 	}
 	return false
+}
+
+// Unjustified returns the rules with no #-comment directly above their
+// block — exceptions nobody wrote down a reason for.
+func (al *Allowlist) Unjustified() []AllowRule {
+	var out []AllowRule
+	for _, r := range al.Rules {
+		if !r.Justified {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Unused returns the rules that never matched a diagnostic — stale

@@ -89,6 +89,35 @@ func TestAllowUnused(t *testing.T) {
 	}
 }
 
+func TestParseAllowJustified(t *testing.T) {
+	src := `
+# this comment covers the whole block below
+floatcmp internal/sim/batch.go
+* internal/legacy/...
+
+wallclock cmd/silodd/main.go
+# comment after a blank line starts a new block
+floatcmp internal/sim/other.go
+`
+	al, err := ParseAllow(strings.NewReader(src), "lint.allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJustified := []bool{true, true, false, true}
+	if len(al.Rules) != len(wantJustified) {
+		t.Fatalf("want %d rules, got %+v", len(wantJustified), al.Rules)
+	}
+	for i, want := range wantJustified {
+		if al.Rules[i].Justified != want {
+			t.Errorf("rule %d (%s): Justified = %v, want %v", i, al.Rules[i].Path, al.Rules[i].Justified, want)
+		}
+	}
+	bad := al.Unjustified()
+	if len(bad) != 1 || bad[0].Path != "cmd/silodd/main.go" {
+		t.Errorf("Unjustified() = %+v, want just the uncommented rule", bad)
+	}
+}
+
 func TestParseAllowFileMissing(t *testing.T) {
 	al, err := ParseAllowFile("testdata/does-not-exist.allow")
 	if err != nil {

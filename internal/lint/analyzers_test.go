@@ -141,6 +141,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{Lockorder, "lockorder", "fixture/internal/lockorder"},
 		{Goleak, "goleak", "fixture/internal/testbed"},
 		{Errflow, "errflow", "fixture/internal/metrics"},
+		{MapOrder, "maporder", "fixture/internal/sim"},
+		{PureCheck, "purecheck", "fixture/internal/policy"},
+		{HotAlloc, "hotalloc", "fixture/internal/eventq"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -30,6 +30,9 @@ func TestRepoLintClean(t *testing.T) {
 	for _, r := range allow.Unused() {
 		t.Errorf("stale allow rule (matched nothing): %s: %s %s", r.Source, r.Analyzer, r.Path)
 	}
+	for _, r := range allow.Unjustified() {
+		t.Errorf("allow rule without a justification comment: %s: %s %s", r.Source, r.Analyzer, r.Path)
+	}
 }
 
 // TestRetiredFloatcmpRulesGoStale proves the stale-rule detector earns

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the allocation budgets PR 5 bought: eventq at 1
+// alloc/op, the fluid solver's per-tick rate recomputation at 0, the
+// bisection probe reusing its scratch slices. Those wins erode one
+// innocent-looking `make` at a time, and ReportAllocs benchmarks only
+// catch the erosion when someone reruns them. A function annotated
+// `// silod:hotpath` is instead checked at lint time for every
+// construct that heap-allocates per call:
+//
+//   - make(...) and new(T);
+//   - map and slice composite literals (value struct literals are
+//     fine: they land in their destination slot);
+//   - &T{...} — the pointer forces the literal to the heap;
+//   - append to a slice freshly allocated in the same function (the
+//     grow-from-scratch pattern; appending into a caller-owned or
+//     receiver-owned buffer is the sanctioned reuse idiom);
+//   - function literals that capture enclosing variables (each call
+//     allocates the closure), and
+//   - interface boxing: a non-interface value passed to an interface
+//     parameter or converted to an interface type (sort.Slice costs 2
+//     allocs/call exactly this way).
+//
+// Escape hatch: a trailing `// silod:alloc <reason>` comment on the
+// offending line waives every finding anchored there — eventq.Schedule
+// must allocate its *Event, and says why in place. A waiver without a
+// reason is itself a finding: the point is the audit trail.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated // silod:hotpath must not heap-allocate: " +
+		"no make/new, no map or slice literals, no &T{}, no growing " +
+		"append of fresh slices, no capturing closures, no interface boxing",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		waivers := allocWaivers(p.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDoc(fd.Doc) {
+				continue
+			}
+			checkHotBody(p, fd, waivers)
+		}
+	}
+}
+
+// hasHotpathDoc reports whether the doc comment carries the
+// // silod:hotpath marker.
+func hasHotpathDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "silod:hotpath" || strings.HasPrefix(text, "silod:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allocWaivers maps source lines to their silod:alloc waiver reasons.
+func allocWaivers(fset *token.FileSet, f *ast.File) map[int]string {
+	var out map[int]string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "silod:alloc"); ok {
+				if out == nil {
+					out = make(map[int]string)
+				}
+				out[fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl, waivers map[int]string) {
+	name := fd.Name.Name
+	report := func(pos token.Pos, format string, args ...any) {
+		if reason, ok := waivers[p.Fset.Position(pos).Line]; ok {
+			if reason == "" {
+				p.Reportf(pos, "silod:alloc waiver without a reason: state why this allocation is acceptable on the hot path")
+			}
+			return
+		}
+		p.Reportf(pos, format, args...)
+	}
+	fresh := freshSlices(p, fd.Body)
+	handled := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					handled[cl] = true
+					report(n.Pos(), "silod:hotpath function %s allocates: &%s{...} escapes to the heap", name, exprPath(cl.Type))
+				}
+			}
+		case *ast.CompositeLit:
+			if handled[n] {
+				break
+			}
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "silod:hotpath function %s allocates: map literal — reuse a scratch map and clear() it", name)
+			case *types.Slice:
+				report(n.Pos(), "silod:hotpath function %s allocates: slice literal — reuse a scratch buffer (see internal/sim/scratch.go resize)", name)
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(p, fd, n); capt != "" {
+				report(n.Pos(), "silod:hotpath function %s allocates: closure captures %s, so each call heap-allocates the closure", name, capt)
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, fd, n, fresh, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags the allocating builtins, append-into-fresh
+// growth, and interface boxing at call boundaries.
+func checkHotCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, fresh map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	name := fd.Name.Name
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversions allocate only when they box into an interface.
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if boxes(p, call.Args[0]) {
+				report(call.Pos(), "silod:hotpath function %s allocates: conversion boxes %s into an interface", name, argLabel(call.Args[0]))
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "silod:hotpath function %s allocates: make — reuse a scratch buffer (see internal/sim/scratch.go resize)", name)
+			case "new":
+				report(call.Pos(), "silod:hotpath function %s allocates: new(T) escapes to the heap", name)
+			case "append":
+				if len(call.Args) >= 2 {
+					if obj := objForExpr(p, call.Args[0]); obj != nil && fresh[obj] {
+						report(call.Pos(), "silod:hotpath function %s allocates: append grows %s, which was freshly allocated in this function — size it up front or reuse a caller-owned buffer", name, obj.Name())
+					}
+				}
+			}
+			return
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				return // f(xs...) passes the slice itself, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(p, arg) {
+			report(arg.Pos(), "silod:hotpath function %s allocates: %s boxes into an interface parameter", name, argLabel(arg))
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface slot allocates: it
+// does unless arg is already an interface value or nil.
+func boxes(p *Pass, arg ast.Expr) bool {
+	at := p.Info.TypeOf(arg)
+	if at == nil {
+		return false
+	}
+	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	_, argIface := at.Underlying().(*types.Interface)
+	return !argIface
+}
+
+func argLabel(arg ast.Expr) string {
+	if s := exprPath(arg); s != "" {
+		return s
+	}
+	return "argument"
+}
+
+// freshSlices collects locals defined from make or a composite
+// literal: appending to one of these is grow-from-scratch, the pattern
+// resize-style scratch buffers exist to replace.
+func freshSlices(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			isFresh := false
+			switch r := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				isFresh = true
+			case *ast.CallExpr:
+				if fid, ok := r.Fun.(*ast.Ident); ok {
+					if b, okb := p.Info.Uses[fid].(*types.Builtin); okb && b.Name() == "make" {
+						isFresh = true
+					}
+				}
+			}
+			if isFresh {
+				if obj := p.Info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from its enclosing function, or "" if it captures nothing.
+func capturedVar(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.Parent() == nil {
+			return true // struct fields have no parent scope
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: referenced, not captured
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own params and locals
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func objForExpr(p *Pass, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}

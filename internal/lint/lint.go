@@ -55,6 +55,14 @@ type Analyzer struct {
 	Doc    string
 	Run    func(*Pass)
 	Finish func(*Pass) // optional whole-module pass; Files/Pkg/Info are nil
+
+	// Merge folds one package's Shared state into the module-wide
+	// Shared map. The parallel driver gives every package its own
+	// Shared map (so Run never races) and calls Merge in package load
+	// order before Finish; global analyzers must set it alongside
+	// Finish, and its result must not depend on merge timing beyond
+	// that order.
+	Merge func(global, pkg map[string]any)
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -89,6 +97,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Wallclock, RNGPurity, UnitSafety, MetricNames, FloatCmp,
 		Lockcheck, Lockorder, Goleak, Errflow,
+		MapOrder, PureCheck, HotAlloc,
 	}
 }
 

@@ -28,6 +28,7 @@ var Lockorder = &Analyzer{
 	Name:   "lockorder",
 	Doc:    "the cross-package lock-acquisition graph must be acyclic",
 	Run:    runLockorder,
+	Merge:  mergeLockorder,
 	Finish: finishLockorder,
 }
 
@@ -62,12 +63,28 @@ type loState struct {
 }
 
 func lockorderState(p *Pass) *loState {
-	if st, ok := p.Shared[lockorderKey].(*loState); ok {
+	return loStateIn(p.Shared)
+}
+
+func loStateIn(shared map[string]any) *loState {
+	if st, ok := shared[lockorderKey].(*loState); ok {
 		return st
 	}
 	st := &loState{funcs: make(map[*types.Func]*loFunc)}
-	p.Shared[lockorderKey] = st
+	shared[lockorderKey] = st
 	return st
+}
+
+func mergeLockorder(global, pkg map[string]any) {
+	src, ok := pkg[lockorderKey].(*loState)
+	if !ok {
+		return
+	}
+	dst := loStateIn(global)
+	for fn, rec := range src.funcs {
+		dst.funcs[fn] = rec
+	}
+	dst.order = append(dst.order, src.order...)
 }
 
 func runLockorder(p *Pass) {

@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// MapOrder is the dataflow refinement of rngpurity's syntactic
+// map-order checks. rngpurity flags output emitted from inside a
+// map-range loop; maporder follows the *values* the loop produces and
+// reports when any of them reaches an order-sensitive sink — float
+// accumulation (the pre-PR-5 requiredIO bug), an unsorted slice that
+// escapes, a metric series interned mid-loop, or output formatting.
+// The two run side by side: rngpurity is cheap and syntactic, maporder
+// catches the flows rngpurity cannot see (a float sum never "emits"
+// anything, yet its value differs run to run).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "tracks values derived from map iteration and flags " +
+		"order-sensitive sinks: float accumulation, unsorted append " +
+		"escape, metric-series interning, and output emission — all of " +
+		"which break same-seed byte-identity",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapOrderFlow(p, body, p.Reportf)
+			}
+			return true
+		})
+	}
+}

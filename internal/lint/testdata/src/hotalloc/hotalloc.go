@@ -1,0 +1,64 @@
+// Fixture for the hotalloc analyzer: a // silod:hotpath function must
+// not allocate — make, map/slice literals, &T{}, new, closures that
+// capture, appends that grow function-fresh slices, and interface
+// boxing are all flagged. A same-line // silod:alloc <reason> comment
+// waives one budgeted allocation; functions without the annotation
+// are free to allocate.
+package hotalloc
+
+type event struct {
+	seq int
+}
+
+type queue struct {
+	h   []*event
+	seq int
+}
+
+func sink(v interface{}) {}
+
+// push is the annotated hot path with its one budgeted allocation
+// waived, mirroring eventq.Schedule.
+//
+// silod:hotpath
+func (q *queue) push() {
+	e := &event{seq: q.seq} // silod:alloc one event per push is the queue's contract; the handle outlives the call
+	q.h = append(q.h, e)    // ok: appends to a caller-owned field, not a fresh slice
+	q.seq++
+}
+
+// churn allocates every way the analyzer knows about.
+//
+// silod:hotpath
+func (q *queue) churn(n int) int {
+	m := make(map[string]int) // want `make — reuse a scratch buffer`
+	_ = m
+	counts := map[string]int{"a": 1} // want `map literal — reuse a scratch map`
+	_ = counts
+	s := []int{1, 2} // want `slice literal — reuse a scratch buffer`
+	s = append(s, n) // want `append grows s, which was freshly allocated in this function`
+	e := &event{}    // want `&event\{\.\.\.\} escapes to the heap`
+	_ = e
+	p := new(event) // want `new\(T\) escapes to the heap`
+	_ = p
+	f := func() int { return n } // want `closure captures n`
+	sink(n)                      // want `n boxes into an interface parameter`
+	_ = any(n)                   // want `conversion boxes n into an interface`
+	b := make([]int, 1) /* // want `silod:alloc waiver without a reason` */ // silod:alloc
+	_ = b
+	return f() + len(s)
+}
+
+// fill appends to a caller-owned slice: growth is the caller's
+// amortization problem, not a fresh allocation here.
+//
+// silod:hotpath
+func fill(dst []int, n int) []int {
+	return append(dst, n) // ok: dst is caller-owned
+}
+
+// cold is not annotated: allocation discipline is a hot-path rule,
+// not a global one.
+func cold() []int {
+	return []int{1, 2, 3} // ok: not a hot path
+}

@@ -57,6 +57,51 @@ func (s *store) stuck() {
 	s.mu.Unlock()
 }
 
+// earlyReturn: the deferred unlock is sticky, so the lock guards
+// every exit — including the early return — and the fallthrough
+// access.
+func (s *store) earlyReturn(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hits > 0 {
+		return -1
+	}
+	return s.items[k] // ok: deferred unlock holds to function exit
+}
+
+// halfUnlock releases the lock in only one branch: the if joins with
+// the intersection of the branch states, so the lock is no longer
+// provably held afterwards.
+func (s *store) halfUnlock(flush bool) int {
+	s.mu.Lock()
+	if flush {
+		s.mu.Unlock()
+	}
+	n := s.hits // want `read of s.hits without holding s.mu`
+	if !flush {
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// relockLoop cycles the lock inside the loop body: accesses in the
+// locked windows pass, the access in the unlocked window is flagged,
+// and the re-lock keeps the body balanced at the back edge (no
+// double-lock).
+func (s *store) relockLoop(keys []string) int {
+	n := 0
+	s.mu.Lock()
+	for _, k := range keys {
+		n += s.items[k] // ok: held at loop entry
+		s.mu.Unlock()
+		waste := s.hits // want `read of s.hits without holding s.mu`
+		n += waste
+		s.mu.Lock() // ok: re-lock, balanced at the back edge
+	}
+	s.mu.Unlock()
+	return n
+}
+
 // newStore touches fields before publication: exempt.
 func newStore() *store {
 	s := &store{items: make(map[string]int)}

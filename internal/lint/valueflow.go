@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared intraprocedural value-flow walker behind the
+// dataflow analyzers (maporder, purecheck). Where lockwalk.go tracks
+// which mutexes are held at each program point, this walker tracks
+// which values are *derived from map iteration order* and reports when
+// such a value reaches an order-sensitive sink.
+//
+// Go randomizes map iteration order per process on purpose, so any
+// result that depends on visit order — a float sum (addition is not
+// associative), an unsorted slice that escapes, a line of output —
+// differs between two runs of the same seed. That is exactly the bug
+// class PR 5 fixed in the Gavel bisection's requiredIO, and the class
+// this walker exists to keep extinct.
+//
+// The flow model:
+//
+//   - A `range` over a map-typed expression taints the loop's key and
+//     value variables ("order-tainted": their *sequence* is random,
+//     even though the set of values is not).
+//   - Assignments inside the loop propagate taint: a variable assigned
+//     an expression that mentions a tainted object becomes tainted.
+//     Propagation is source-order within the loop body, which matches
+//     how straight-line accumulator code is actually written.
+//   - Sinks fire only for statements inside the loop (or, for the
+//     append sink, when the collected slice is never sorted afterwards
+//     in the enclosing function — the collect-then-sort idiom is the
+//     recognized sanitizer).
+//
+// Sinks (see docs/static-analysis.md for the full table):
+//
+//   float accumulation   acc op= tainted, acc declared outside the loop
+//                        and float-typed (incl. unit.Bytes/Bandwidth)
+//   append escape        s = append(s, tainted...) with s declared
+//                        outside the loop and never sorted in the
+//                        function
+//   emission             fmt.Print*/Fprint*, encoding Encode, or a
+//                        Reportf-style method receiving a tainted value
+//   metric interning     Registry.Counter/Gauge/Histogram called in the
+//                        loop (series creation order becomes random)
+//
+// Integer and boolean accumulation is order-independent and never
+// flagged; so are map writes, min/max tracking via plain assignment,
+// and iteration over an already-sorted key slice (a slice range is
+// simply not a source).
+
+// taintSet tracks the objects whose values are order-tainted.
+type taintSet map[types.Object]bool
+
+// checkMapOrderFlow walks one function body and reports every
+// order-sensitive sink reached by map-iteration-derived values.
+// Nested function literals are skipped: callers analyze each function
+// body separately, as rngpurity does.
+func checkMapOrderFlow(p *Pass, fnBody *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != fnBody {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapRange(p, rs) {
+			return true
+		}
+		taint := make(taintSet)
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.Info.Defs[id]; obj != nil {
+					taint[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					taint[obj] = true
+				}
+			}
+		}
+		w := &flowWalker{p: p, loop: rs, fnBody: fnBody, taint: taint, report: report}
+		w.walk(rs.Body)
+		return true
+	})
+}
+
+// isMapRange reports whether rs ranges over a map-typed expression
+// (including a call returning a map, e.g. a Keys-style helper that
+// forwards iteration order).
+func isMapRange(p *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// flowWalker carries the state of one map-range loop's analysis.
+type flowWalker struct {
+	p      *Pass
+	loop   *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	taint  taintSet
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// walk visits the loop body in source order, propagating taint through
+// assignments and firing sinks.
+func (w *flowWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function body; analyzed on its own
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.RangeStmt:
+			// A nested range over a tainted collection forwards taint to
+			// its loop variables (e.g. for _, x := range taintedSlice).
+			if n != w.loop && w.mentionsTaint(n.X) {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := w.p.Info.Defs[id]; obj != nil {
+							w.taint[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// assign handles taint propagation and the accumulation/append sinks.
+func (w *flowWalker) assign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if w.mentionsTaint(as.Rhs[0]) {
+			// m[k] op= v with a tainted index updates a distinct slot
+			// per iteration — the *set* of final values is deterministic
+			// even though the visit order is not.
+			if w.lhsIndexTainted(lhs) {
+				return
+			}
+			if obj := w.objOf(rootIdent(lhs)); obj != nil {
+				w.taint[obj] = true
+			}
+			if w.isFloat(lhs) && w.declaredOutsideLoop(rootIdent(lhs)) {
+				w.report(as.Pos(), "float accumulation into %s in map iteration order: float addition is not associative, so the sum depends on per-process randomness; iterate sorted keys instead", exprPath(lhs))
+			}
+		}
+		return
+	case token.DEFINE, token.ASSIGN:
+	default:
+		return
+	}
+	// x = x + tainted is accumulation spelled out.
+	if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok &&
+			(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) {
+			lhsObj := w.objOf(rootIdent(as.Lhs[0]))
+			if lhsObj != nil && (w.objOf(rootIdent(bin.X)) == lhsObj || w.objOf(rootIdent(bin.Y)) == lhsObj) &&
+				w.mentionsTaint(as.Rhs[0]) && !w.lhsIndexTainted(as.Lhs[0]) &&
+				w.isFloat(as.Lhs[0]) && w.declaredOutsideLoop(rootIdent(as.Lhs[0])) {
+				w.report(as.Pos(), "float accumulation into %s in map iteration order: float addition is not associative, so the sum depends on per-process randomness; iterate sorted keys instead", exprPath(as.Lhs[0]))
+			}
+		}
+	}
+	// Append sink and taint propagation.
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && w.isBuiltinAppend(call) {
+			tainted := false
+			for _, a := range call.Args[1:] {
+				if w.mentionsTaint(a) {
+					tainted = true
+					break
+				}
+			}
+			if tainted {
+				id := rootIdent(lhs)
+				obj := w.objOf(id)
+				if obj != nil {
+					w.taint[obj] = true
+					if w.declaredOutsideLoop(id) && !sortedInFunc(w.p, w.fnBody, obj) {
+						w.report(as.Pos(), "appending map-iteration-derived values to %q without sorting it afterwards: the slice order is randomized per process; sort before it escapes", obj.Name())
+					}
+				}
+			}
+			continue
+		}
+		if w.mentionsTaint(rhs) {
+			if obj := w.objOf(rootIdent(lhs)); obj != nil {
+				w.taint[obj] = true
+			}
+		}
+	}
+}
+
+// call fires the emission and metric-interning sinks.
+func (w *flowWalker) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	anyTaintedArg := false
+	for _, a := range call.Args {
+		if w.mentionsTaint(a) {
+			anyTaintedArg = true
+			break
+		}
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if path, isPkg := pkgNameOf(w.p.Info, id); isPkg && path == "fmt" && anyTaintedArg &&
+			(hasPrefix(name, "Print") || hasPrefix(name, "Fprint")) {
+			w.report(call.Pos(), "map-iteration-derived value reaches fmt.%s: output line order depends on per-process randomness; collect, sort, then emit", name)
+			return
+		}
+	}
+	if anyTaintedArg && (name == "Reportf" || name == "Encode") {
+		w.report(call.Pos(), "map-iteration-derived value reaches %s in map iteration order: emission order depends on per-process randomness; collect, sort, then emit", name)
+		return
+	}
+	if name == "Counter" || name == "Gauge" || name == "Histogram" {
+		if recv := w.p.Info.TypeOf(sel.X); recv != nil && isMetricsRegistry(recv) {
+			w.report(call.Pos(), "interning a metric series (Registry.%s) inside a map-range loop: series creation order becomes random per process; intern eagerly outside the loop (the PR-4 convention)", name)
+		}
+	}
+}
+
+// lhsIndexTainted reports whether lhs indexes a map or slice by a
+// tainted expression — a per-key slot update, not an accumulator.
+func (w *flowWalker) lhsIndexTainted(lhs ast.Expr) bool {
+	found := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok && w.mentionsTaint(ix.Index) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsTaint reports whether any identifier in e resolves to a
+// tainted object.
+func (w *flowWalker) mentionsTaint(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.p.Info.Uses[id]; obj != nil && w.taint[obj] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isFloat reports whether e's type has a floating-point underlying
+// type (covering unit.Bytes, unit.Bandwidth, and friends).
+func (w *flowWalker) isFloat(e ast.Expr) bool {
+	t := w.p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutsideLoop reports whether id's object is declared before
+// the loop body: an accumulator that survives the loop, as opposed to
+// a per-iteration temporary.
+func (w *flowWalker) declaredOutsideLoop(id *ast.Ident) bool {
+	if id == nil {
+		return false
+	}
+	obj := w.objOf(id)
+	return obj != nil && obj.Pos() < w.loop.Body.Pos()
+}
+
+func (w *flowWalker) objOf(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := w.p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.p.Info.Defs[id]
+}
+
+func (w *flowWalker) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	_, isBuiltin := w.p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent returns the base identifier of an lvalue chain
+// (x, x.f, x[i].g → x), or nil for unrooted expressions.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMetricsRegistry reports whether t is internal/metrics.Registry
+// (through one pointer level).
+func isMetricsRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Registry" && obj.Pkg() != nil &&
+		pathEndsIn(obj.Pkg().Path(), "internal/metrics")
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

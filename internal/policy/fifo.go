@@ -10,6 +10,8 @@ import (
 // rather than blocking the queue, as DL cluster schedulers do). Grants
 // are written into the provided map (only admitted jobs appear), so
 // policies can recycle one assignment's maps across rounds.
+//
+// silod:pure
 func admitGangs(grants map[string]int, totalGPUs int, ordered []core.JobView) {
 	free := totalGPUs
 	for _, j := range ordered {
@@ -22,6 +24,8 @@ func admitGangs(grants map[string]int, totalGPUs int, ordered []core.JobView) {
 
 // runningFirst returns jobs reordered so currently running jobs come
 // first (in queue order), implementing non-preemptive admission.
+//
+// silod:pure
 func runningFirst(ordered []core.JobView) []core.JobView {
 	out := make([]core.JobView, 0, len(ordered))
 	for _, j := range ordered {
@@ -38,6 +42,8 @@ func runningFirst(ordered []core.JobView) []core.JobView {
 }
 
 // admittedViews filters jobs down to those with a GPU grant.
+//
+// silod:pure
 func admittedViews(jobs []core.JobView, grants map[string]int) []core.JobView {
 	out := make([]core.JobView, 0, len(grants))
 	for _, j := range jobs {
@@ -65,7 +71,12 @@ type FIFO struct {
 // Name implements core.Policy.
 func (f *FIFO) Name() string { return "fifo+" + f.Storage.Name() }
 
-// Assign implements core.Policy.
+// Assign implements core.Policy. The annotation is what PureAssign's
+// claim rests on: admission order is a function of the views alone,
+// so purity reduces to the allocator's — which is exactly what the
+// assume= clause delegates to the runtime vetting in pure.go.
+//
+// silod:pure assume=StorageAllocator,QueueAwareAllocator
 func (f *FIFO) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
 	a := f.scratch.Reset()
 	ordered := runningFirst(core.SortJobs(jobs))

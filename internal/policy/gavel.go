@@ -126,9 +126,16 @@ func finishTimeRho(now unit.Time, j core.JobView) float64 {
 // would churn both GPUs and cache warm-up without improving long-run
 // fairness.
 func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
+	if g.Objective == TotalThroughput {
+		// The throughput objective is the one Gavel configuration whose
+		// ordering never consults `now` — the carve-out PureAssign's
+		// eligibility rests on — so it lives in its own machine-checked
+		// pure function.
+		return g.assignThroughput(c, jobs)
+	}
 	a := g.scratch.Reset()
 	ordered := append([]core.JobView(nil), jobs...)
-	key := g.orderKey(c, now, jobs)
+	key := g.orderKey(now)
 	sort.Slice(ordered, func(i, j int) bool {
 		di, dj := key(ordered[i]), key(ordered[j])
 		if di != dj {
@@ -140,12 +147,6 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 	running := admittedViews(jobs, a.GPUs)
 	if !g.Enhanced {
 		g.Storage.AllocateStorage(c, running, &a)
-		return a
-	}
-	if g.Objective == TotalThroughput {
-		// Maximum aggregate throughput wants storage wherever it buys
-		// the most MB/s — exactly Algorithm 2's greedy.
-		GreedyAllocator{}.AllocateStorage(c, running, &a)
 		return a
 	}
 	// Max-min and finish-time fairness both protect the worst job:
@@ -177,32 +178,72 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 	return a
 }
 
-// orderKey returns the GPU-admission sort key for the configured
-// objective (ascending = admitted first). Running jobs get a 20% edge
-// against preemption in all objectives.
-func (g *Gavel) orderKey(c core.Cluster, now unit.Time, jobs []core.JobView) func(core.JobView) float64 {
+// assignThroughput is Assign for the TotalThroughput objective: GPUs
+// go to the jobs with the best achievable normalized rate, and storage
+// to wherever it buys the most MB/s (Algorithm 2's greedy when
+// enhanced, the configured allocator otherwise). It takes no `now` on
+// purpose — the throughput score is a function of the views alone,
+// which is exactly what lets PureAssign report true here while the
+// deficit-based objectives stay impure.
+//
+// silod:pure assume=StorageAllocator
+func (g *Gavel) assignThroughput(c core.Cluster, jobs []core.JobView) core.Assignment {
+	a := g.scratch.Reset()
+	ordered := append([]core.JobView(nil), jobs...)
+	key := throughputKey(c, g.Enhanced, len(jobs))
+	sort.Slice(ordered, func(i, j int) bool {
+		di, dj := key(ordered[i]), key(ordered[j])
+		if di != dj {
+			return di < dj
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	admitGangs(a.GPUs, c.GPUs, ordered)
+	running := admittedViews(jobs, a.GPUs)
+	if !g.Enhanced {
+		g.Storage.AllocateStorage(c, running, &a)
+		return a
+	}
+	// Maximum aggregate throughput wants storage wherever it buys the
+	// most MB/s — exactly Algorithm 2's greedy.
+	GreedyAllocator{}.AllocateStorage(c, running, &a)
+	return a
+}
+
+// throughputKey is the TotalThroughput admission score (ascending =
+// admitted first): achievable throughput per GPU, assuming the job
+// keeps its effective cache and receives an equal bandwidth share.
+// Running jobs get the same 20% edge against preemption as the other
+// objectives.
+//
+// silod:pure
+func throughputKey(c core.Cluster, enhanced bool, njobs int) func(core.JobView) float64 {
+	n := float64(njobs)
+	if n < 1 {
+		n = 1
+	}
+	share := float64(c.RemoteIO) / n
+	return func(j core.JobView) float64 {
+		fstar := float64(j.Profile.IdealThroughput)
+		h := 0.0
+		if enhanced && j.DatasetSize > 0 {
+			h = math.Min(float64(j.EffectiveCached)/float64(j.DatasetSize), 1)
+		}
+		achievable := math.Min(fstar, fstar*h+share)
+		score := achievable / math.Max(float64(j.NumGPUs), 1)
+		if j.Running {
+			score *= 1.25
+		}
+		return -score // ascending sort; higher score first
+	}
+}
+
+// orderKey returns the GPU-admission sort key for the time-dependent
+// objectives (ascending = admitted first); TotalThroughput is handled
+// by throughputKey. Running jobs get a 20% edge against preemption in
+// all objectives.
+func (g *Gavel) orderKey(now unit.Time) func(core.JobView) float64 {
 	switch g.Objective {
-	case TotalThroughput:
-		// Achievable throughput per GPU, assuming the job keeps its
-		// effective cache and receives an equal bandwidth share.
-		n := float64(len(jobs))
-		if n < 1 {
-			n = 1
-		}
-		share := float64(c.RemoteIO) / n
-		return func(j core.JobView) float64 {
-			fstar := float64(j.Profile.IdealThroughput)
-			h := 0.0
-			if g.Enhanced && j.DatasetSize > 0 {
-				h = math.Min(float64(j.EffectiveCached)/float64(j.DatasetSize), 1)
-			}
-			achievable := math.Min(fstar, fstar*h+share)
-			score := achievable / math.Max(float64(j.NumGPUs), 1)
-			if j.Running {
-				score *= 1.25
-			}
-			return -score // ascending sort; higher score first
-		}
 	case FinishTimeFairness:
 		return func(j core.JobView) float64 {
 			rho := finishTimeRho(now, j)

@@ -167,6 +167,9 @@ func newLambdaProbe(jobs []storageJob) *lambdaProbe {
 // (g.rate/g.size), with the warm-data hysteresis used throughout
 // SiloD's allocators so already-effective datasets win near-ties and
 // quotas stay stable as the job set churns.
+//
+// silod:hotpath — runs ~60 times per bisection; everything it touches
+// is probe-owned scratch.
 func (p *lambdaProbe) split(remCache, lambda float64) {
 	for _, g := range p.groups {
 		g.rate = 0
@@ -178,7 +181,7 @@ func (p *lambdaProbe) split(remCache, lambda float64) {
 	}
 	copy(p.order, p.keys)
 	order := p.order
-	sort.Slice(order, func(a, b int) bool {
+	sort.Slice(order, func(a, b int) bool { // silod:alloc sort.Slice boxes its slice and allocates the comparator closure (2 allocs, amortized across the whole bisection)
 		ga, gb := p.groups[order[a]], p.groups[order[b]]
 		ea := ga.rate / math.Max(ga.size, 1) * (1 + 0.5*ga.eff)
 		eb := gb.rate / math.Max(gb.size, 1) * (1 + 0.5*gb.eff)
@@ -204,6 +207,8 @@ func (p *lambdaProbe) split(remCache, lambda float64) {
 // Groups are scanned in first-encounter order so the float accumulation
 // order — and with it the feasibility verdict at the bisection
 // boundary — is deterministic.
+//
+// silod:hotpath
 func (p *lambdaProbe) requiredIO() float64 {
 	var total float64
 	for _, key := range p.keys {
@@ -220,6 +225,8 @@ func (p *lambdaProbe) requiredIO() float64 {
 }
 
 // feasible reports whether targets at lambda fit both budgets.
+//
+// silod:hotpath
 func (p *lambdaProbe) feasible(remCache, remIO, lambda float64) bool {
 	p.split(remCache, lambda)
 	return p.requiredIO() <= remIO*(1+1e-9)+1e-6
@@ -228,6 +235,8 @@ func (p *lambdaProbe) feasible(remCache, remIO, lambda float64) bool {
 // allocate computes the cheapest allocation giving every job its
 // target throughput at lambda. The returned slice is scratch, valid
 // until the probe's next allocate call.
+//
+// silod:hotpath — fills the probe's scratch allocs slice in place.
 func (p *lambdaProbe) allocate(remCache, remIO, lambda float64) []StorageAlloc {
 	p.split(remCache, lambda)
 	for _, key := range p.keys {
@@ -248,6 +257,8 @@ func (p *lambdaProbe) allocate(remCache, remIO, lambda float64) []StorageAlloc {
 }
 
 // maxFeasibleLambda bisects on the normalized rate.
+//
+// silod:hotpath
 func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64) float64 {
 	// Upper bound: the largest f*/perfEqual ratio.
 	hi := 0.0

@@ -7,6 +7,12 @@ import "repro/internal/core"
 // known to be stateless qualify, so an allocator added later defaults
 // to impure until it is vetted. QuiverAllocator draws profiling noise
 // from its RNG on every solve and must never be skipped.
+//
+// Each vetted allocator's AllocateStorage is machine-checked: the
+// requires markers below fail the lint if one loses its silod:pure
+// annotation (or stops existing).
+//
+// silod:pure-requires: GreedyAllocator.AllocateStorage, CoorDLAllocator.AllocateStorage, AlluxioAllocator.AllocateStorage
 func allocatorPure(s StorageAllocator) bool {
 	switch s.(type) {
 	case GreedyAllocator, *GreedyAllocator,
@@ -19,10 +25,14 @@ func allocatorPure(s StorageAllocator) bool {
 
 // PureAssign implements core.PureAssigner: FIFO's admission order
 // depends only on the job views, so purity reduces to the allocator's.
+//
+// silod:pure-requires: (*FIFO).Assign
 func (f *FIFO) PureAssign() bool { return allocatorPure(f.Storage) }
 
 // PureAssign implements core.PureAssigner: the SJF score (Eq. 6/7) is a
 // function of the cluster and job views alone — `now` never enters.
+//
+// silod:pure-requires: (*SJF).Assign
 func (s *SJF) PureAssign() bool {
 	return s.Enhanced || allocatorPure(s.Storage)
 }
@@ -32,6 +42,8 @@ func (s *SJF) PureAssign() bool {
 // so their output changes as `now` advances even with identical views —
 // they are impure by the PureAssigner contract. Only the
 // throughput-maximizing objective orders by a time-free score.
+//
+// silod:pure-requires: (*Gavel).assignThroughput, throughputKey
 func (g *Gavel) PureAssign() bool {
 	if g.Objective != TotalThroughput {
 		return false

@@ -42,6 +42,8 @@ func (s *SJF) Name() string {
 // sjfScore evaluates Eq. 6/7 for one job, returning the score and the
 // score-minimizing cache choice (0 or the full dataset). Weights are
 // w_t = 1/totalResource[t] per Tetris [30].
+//
+// silod:pure
 func sjfScore(c core.Cluster, j core.JobView, enhanced bool) (score float64, wantCache unit.Bytes) {
 	g := float64(j.NumGPUs) / math.Max(float64(c.GPUs), 1)
 	fstar := float64(j.Profile.IdealThroughput)
@@ -68,6 +70,10 @@ func sjfScore(c core.Cluster, j core.JobView, enhanced bool) (score float64, wan
 
 // Assign implements core.Policy. SJF is preemptive at scheduling-round
 // granularity, as in Tiresias: the score order alone decides who runs.
+// The Eq. 6/7 score never consults `now` (remaining duration comes
+// from RemainingBytes), which is what PureAssign's claim rests on.
+//
+// silod:pure assume=StorageAllocator
 func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
 	a := s.scratch.Reset()
 	type scored struct {

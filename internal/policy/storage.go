@@ -58,7 +58,11 @@ type GreedyAllocator struct {
 // Name implements StorageAllocator.
 func (GreedyAllocator) Name() string { return "silod-greedy" }
 
-// AllocateStorage implements StorageAllocator.
+// AllocateStorage implements StorageAllocator. Algorithm 2 is a pure
+// function of (cluster, running views): allocatorPure's vetting of
+// GreedyAllocator rests on this annotation holding.
+//
+// silod:pure
 func (g GreedyAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
 	type dgroup struct {
 		key        string
@@ -145,14 +149,23 @@ func (g GreedyAllocator) AllocateStorage(c core.Cluster, running []core.JobView,
 // normal allocation for running jobs, leftover cache goes to queued
 // jobs' datasets in cache-efficiency order so the data plane can
 // prefetch them with idle egress bandwidth.
+//
+// silod:pure
 func (g GreedyAllocator) AllocateStorageQueued(c core.Cluster, running, queued []core.JobView, a *core.Assignment) {
 	g.AllocateStorage(c, running, a)
 	if !g.PrefetchQueued || len(queued) == 0 {
 		return
 	}
+	// Sorted-key sum: leftover feeds quota math, and a float total must
+	// not depend on per-process map iteration order.
+	usedKeys := make([]string, 0, len(a.CacheQuota))
+	for key := range a.CacheQuota {
+		usedKeys = append(usedKeys, key)
+	}
+	sort.Strings(usedKeys)
 	var used unit.Bytes
-	for _, q := range a.CacheQuota {
-		used += q
+	for _, key := range usedKeys {
+		used += a.CacheQuota[key]
 	}
 	leftover := c.Cache - used
 	if leftover <= 0 {
@@ -209,6 +222,8 @@ func (g GreedyAllocator) AllocateStorageQueued(c core.Cluster, running, queued [
 // epochs quickly (Figure 11's near-ideal throughput); jobs already
 // fully served by fair share (e.g. BERT's tiny demand) are never taxed,
 // which keeps the makespan tail intact.
+//
+// silod:pure
 func allocRemoteIOPriority(total unit.Bandwidth, running []core.JobView, a *core.Assignment,
 	less func(x, y core.JobView) bool) {
 	// Stage 1: plain max-min fair share over demands.
@@ -272,6 +287,8 @@ func allocRemoteIOPriority(total unit.Bandwidth, running []core.JobView, a *core
 
 // instantDemand is a job's current remote IO demand given the assigned
 // quota and its effective cache.
+//
+// silod:pure
 func instantDemand(j core.JobView, a *core.Assignment) float64 {
 	q := a.CacheQuota[j.DatasetKey]
 	if q > j.EffectiveCached {
@@ -294,6 +311,8 @@ func instantDemand(j core.JobView, a *core.Assignment) float64 {
 // division is bit-identical to the unweighted water-fill. The
 // allocation is revisited every scheduling round, so grants shrink as
 // caches warm.
+//
+// silod:pure
 func allocRemoteIOFair(total unit.Bandwidth, running []core.JobView, a *core.Assignment) {
 	type rec struct {
 		id     string
@@ -427,6 +446,8 @@ type CoorDLAllocator struct{}
 func (CoorDLAllocator) Name() string { return "coordl" }
 
 // AllocateStorage implements StorageAllocator.
+//
+// silod:pure
 func (CoorDLAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
 	if c.GPUs <= 0 {
 		return
@@ -443,6 +464,8 @@ func (CoorDLAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a
 }
 
 // coorDLKey is the cache accounting key of a CoorDL private cache.
+//
+// silod:pure
 func coorDLKey(jobID string) string { return "job:" + jobID }
 
 // CoorDLKey exposes the private-cache key derivation for the simulator.
@@ -458,4 +481,6 @@ type AlluxioAllocator struct{}
 func (AlluxioAllocator) Name() string { return "alluxio" }
 
 // AllocateStorage implements StorageAllocator.
+//
+// silod:pure
 func (AlluxioAllocator) AllocateStorage(core.Cluster, []core.JobView, *core.Assignment) {}

@@ -31,12 +31,19 @@ func (p *TenantPolicy) Name() string { return p.Inner.Name() + "+tenant" }
 // PureAssign implements core.PureAssigner: the clamp is a pure function
 // of the inner assignment and the (static during a run) registry, so
 // purity is inherited from the inner policy.
+//
+// silod:pure-requires: (*TenantPolicy).Assign
 func (p *TenantPolicy) PureAssign() bool {
 	pa, ok := p.Inner.(core.PureAssigner)
 	return ok && pa.PureAssign()
 }
 
-// Assign implements core.Policy.
+// Assign implements core.Policy. Purity is inherited: the clamp
+// itself is a pure function of the inner assignment and the (static
+// during a run) registry, which is what PureAssign's delegation to
+// the inner policy rests on.
+//
+// silod:pure assume=Policy
 func (p *TenantPolicy) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
 	a := p.Inner.Assign(c, now, jobs)
 	p.clamp(jobs, &a)
@@ -44,6 +51,8 @@ func (p *TenantPolicy) Assign(c core.Cluster, now unit.Time, jobs []core.JobView
 }
 
 // clamp enforces the three quota dimensions in place.
+//
+// silod:pure
 func (p *TenantPolicy) clamp(jobs []core.JobView, a *core.Assignment) {
 	ordered := core.SortJobs(jobs)
 	jobsOf := make(map[string][]core.JobView)
@@ -94,17 +103,21 @@ func (p *TenantPolicy) clamp(jobs []core.JobView, a *core.Assignment) {
 			continue
 		}
 		var keys []string
-		var total unit.Bytes
 		for ds, owner := range dsOwner {
 			if owner == t.ID {
 				keys = append(keys, ds)
-				total += a.CacheQuota[ds]
 			}
+		}
+		// Sum after sorting: ratio below divides by this float total, so
+		// its rounding must not depend on per-process map order.
+		sort.Strings(keys)
+		var total unit.Bytes
+		for _, ds := range keys {
+			total += a.CacheQuota[ds]
 		}
 		if total <= t.Quota.Cache {
 			continue
 		}
-		sort.Strings(keys)
 		ratio := float64(t.Quota.Cache) / float64(total)
 		for _, ds := range keys {
 			a.CacheQuota[ds] = unit.Bytes(float64(a.CacheQuota[ds]) * ratio)

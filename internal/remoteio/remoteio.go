@@ -112,9 +112,17 @@ func (l *Ledger) Allocated() unit.Bandwidth {
 }
 
 func (l *Ledger) allocatedLocked() unit.Bandwidth {
+	// Sorted-key sum keeps the float total identical across processes
+	// (map iteration order is randomized; float addition is not
+	// associative).
+	ids := make([]string, 0, len(l.alloc))
+	for id := range l.alloc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var s unit.Bandwidth
-	for _, bw := range l.alloc {
-		s += bw
+	for _, id := range ids {
+		s += l.alloc[id]
 	}
 	return s
 }

@@ -394,6 +394,9 @@ func (s *fluidSim) applyQuota(key string, q unit.Bytes) {
 // jobRates computes each running job's data-loading hit ratio and
 // end-to-end throughput under the current allocations. The returned
 // slices are scratch, valid until the next call.
+//
+// silod:hotpath — runs on every simulator event; all buffers are
+// sim-owned scratch grown via resize.
 func (s *fluidSim) jobRates(running []*jobRT) (hits []float64, rates, grants []unit.Bandwidth) {
 	hits = resize(&s.hitsBuf, len(running))
 	rates = resize(&s.ratesBuf, len(running))
@@ -489,6 +492,9 @@ func (s *fluidSim) lruHits(running []*jobRT, hits []float64) {
 // are honored when present and IO control is enabled; the remainder (or
 // everything, for uncontrolled systems) is divided max-min fairly over
 // residual demands.
+//
+// silod:hotpath — called from jobRates and from every Che fixed-point
+// iteration; reuses the sim's grant/demand scratch buffers.
 func (s *fluidSim) bandwidthGrants(running []*jobRT, hits []float64) []unit.Bandwidth {
 	grants := resize(&s.grantsBuf, len(running))
 	demands := resize(&s.demandsBuf, len(running))
@@ -586,7 +592,16 @@ func (s *fluidSim) sample(running []*jobRT, hits []float64, rates, grants []unit
 			effSum[j.dsKey] += float64(j.effCached)
 			effCnt[j.dsKey]++
 		}
-		for key, d := range s.datasets {
+		// Sorted-key order: both sums land in recorded series, where a
+		// map-order-dependent float total would break same-seed
+		// byte-identity.
+		keys := make([]string, 0, len(s.datasets))
+		for key := range s.datasets {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			d := s.datasets[key]
 			alloc += float64(d.quota)
 			if n := effCnt[key]; n > 0 {
 				eff += effSum[key] / float64(n)

@@ -57,6 +57,8 @@ func ParseSLO(s string) (SLOClass, error) {
 // Rank orders classes for admission and preemption: lower ranks are
 // admitted first and preempted last, so on capacity loss the re-solve
 // drops sheddable jobs before standard before critical.
+//
+// silod:pure
 func (c SLOClass) Rank() int {
 	switch c {
 	case Critical:
@@ -71,6 +73,8 @@ func (c SLOClass) Rank() int {
 // Weight is the multiplier applied to a job's cache efficiency and its
 // remote-IO fair share. Standard weighs 1 so a single-class cluster is
 // numerically identical to the unweighted allocators.
+//
+// silod:pure
 func (c SLOClass) Weight() float64 {
 	switch c {
 	case Critical:
@@ -150,7 +154,11 @@ func (r *Registry) ClassOf(id string) SLOClass {
 	return t.Class
 }
 
-// List returns all tenants sorted by ID.
+// List returns all tenants sorted by ID. Registration is wiring-time
+// only, so during a scheduling run List is a pure read (the mutex is
+// safety plumbing, not hidden state).
+//
+// silod:pure
 func (r *Registry) List() []Tenant {
 	r.mu.Lock()
 	defer r.mu.Unlock()
