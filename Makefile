@@ -12,10 +12,24 @@ vet:
 	$(GO) vet ./...
 
 # lint runs silodlint, the project's own static-analysis suite
-# (determinism, unit-safety, metric-naming invariants); exits non-zero
-# on any finding not covered by lint.allow. See docs/static-analysis.md.
+# (determinism, unit-safety, metric-naming invariants, whole-program
+# determinism closure and input taint); exits non-zero on any finding
+# not covered by lint.allow. See docs/static-analysis.md.
 lint:
 	$(GO) run ./cmd/silodlint -root .
+
+# lint-diff reports only the packages changed since BASE (plus their
+# reverse dependencies); the whole module is still analyzed. CI uses it
+# on pull requests; pushes to main run the full sweep.
+lint-diff:
+	$(GO) run ./cmd/silodlint -root . -diff $(or $(BASE),origin/main)
+
+# lint-why demonstrates the -why trace on the known-bad fixture: the
+# seeded detclose finding prints its root-to-witness call path. The
+# grep is the assertion — the smoke fails unless a full path (root,
+# hop, clock witness) comes back.
+lint-why:
+	$(GO) run ./cmd/silodlint -root cmd/silodlint/testdata/badmod -why | grep -A4 "detclose" | grep "time.Now"
 
 race:
 	$(GO) test -race ./...

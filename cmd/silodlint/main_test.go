@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 const badmod = "testdata/badmod"
@@ -44,12 +47,15 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/policy/policy\.go:\d+:\d+: maporder: float accumulation into total in map iteration order`,
 		`(?m)^internal/policy/policy\.go:\d+:\d+: purecheck: silod:pure function Score calls time\.Now`,
 		`(?m)^internal/policy/policy\.go:\d+:\d+: hotalloc: silod:hotpath function Hot allocates: make`,
+		`(?m)^internal/experiments/experiments\.go:\d+:\d+: detclose: simulation root Figure99 transitively reaches a wall-clock read \(time\.Now\)`,
+		`(?m)^internal/controlplane/controlplane\.go:\d+:\d+: inputflow: untrusted Req\.Blocks flows into allocation size`,
+		`(?m)^internal/tenant/slo\.go:\d+:\d+: exhaust: switch over closed enum tenant\.sloClass misses sloSheddable`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "17 finding(s)") {
+	if !strings.Contains(stderr, "20 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -65,7 +71,10 @@ func TestAllowlistSilences(t *testing.T) {
 		"* internal/faults/faults.go\n" +
 		"* internal/runner/runner.go\n" +
 		"* internal/tenant/tenant.go\n" +
+		"* internal/tenant/slo.go\n" +
 		"* internal/policy/policy.go\n" +
+		"* internal/experiments/experiments.go\n" +
+		"* internal/controlplane/controlplane.go\n" +
 		"floatcmp internal/sim/never.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
@@ -82,11 +91,47 @@ func TestAllowlistSilences(t *testing.T) {
 	}
 }
 
+// TestAllowInteractionNewAnalyzers covers the allowlist against the
+// whole-program analyzers: a justified detclose rule retires the
+// seeded root finding, a rule left over after a fix is reported stale,
+// and both behaviors are byte-identical at any worker count (the
+// summary phase must not perturb the allow/stale bookkeeping).
+func TestAllowInteractionNewAnalyzers(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "lint.allow")
+	content := "# Figure99 is the seeded determinism leak; kept on purpose\n" +
+		"detclose internal/experiments/experiments.go\n" +
+		"# retired: slo.go gained full switch coverage (rule should be stale)\n" +
+		"inputflow internal/tenant/slo.go\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var prevOut, prevErr string
+	for i, w := range []string{"1", "4"} {
+		code, stdout, stderr := runLint(t, "-root", badmod, "-allow", allow, "-workers", w)
+		if code != 1 {
+			t.Fatalf("workers=%s: exit code = %d, want 1 (other findings stay)\nstderr:\n%s", w, code, stderr)
+		}
+		if strings.Contains(stdout, "detclose") {
+			t.Errorf("workers=%s: allowed detclose finding still printed:\n%s", w, stdout)
+		}
+		if !strings.Contains(stdout, "inputflow: untrusted Req.Blocks") {
+			t.Errorf("workers=%s: the unallowed inputflow finding must still print:\n%s", w, stdout)
+		}
+		if !strings.Contains(stderr, "stale allow rule") || !strings.Contains(stderr, "inputflow internal/tenant/slo.go") {
+			t.Errorf("workers=%s: stale-rule report missing:\n%s", w, stderr)
+		}
+		if i > 0 && (stdout != prevOut || stderr != prevErr) {
+			t.Errorf("allow bookkeeping diverges across -workers:\n--- prev\n%s%s\n--- now\n%s%s", prevOut, prevErr, stdout, stderr)
+		}
+		prevOut, prevErr = stdout, stderr
+	}
+}
+
 // TestDisableFlag turns off every triggered analyzer and expects a
 // clean exit.
 func TestDisableFlag(t *testing.T) {
 	code, stdout, stderr := runLint(t, "-root", badmod,
-		"-disable", "wallclock,rngpurity,lockcheck,lockorder,goleak,errflow,maporder,purecheck,hotalloc")
+		"-disable", "wallclock,rngpurity,lockcheck,lockorder,goleak,errflow,maporder,purecheck,hotalloc,detclose,inputflow,exhaust")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
 	}
@@ -98,19 +143,42 @@ func TestDisableFlag(t *testing.T) {
 }
 
 // TestListFlag prints the analyzer roster without loading anything.
+// The expectations come from the registry itself, so a new analyzer is
+// covered the moment it lands in lint.All().
 func TestListFlag(t *testing.T) {
 	code, stdout, _ := runLint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{
-		"wallclock", "rngpurity", "unitsafety", "metricnames", "floatcmp",
-		"lockcheck", "lockorder", "goleak", "errflow",
-		"maporder", "purecheck", "hotalloc",
-	} {
-		if !strings.Contains(stdout, name) {
-			t.Errorf("-list output missing %s:\n%s", name, stdout)
+	all := lint.All()
+	if len(all) != 15 {
+		t.Errorf("registry has %d analyzers, want 15 (update this test and README.md together)", len(all))
+	}
+	for _, an := range all {
+		if !strings.Contains(stdout, an.Name) {
+			t.Errorf("-list output missing %s:\n%s", an.Name, stdout)
 		}
+	}
+}
+
+// TestReadmeAnalyzerCount keeps README.md's prose in lock step with
+// the registry: the spelled-out analyzer count must match lint.All().
+func TestReadmeAnalyzerCount(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := map[int]string{
+		12: "twelve", 13: "thirteen", 14: "fourteen", 15: "fifteen",
+		16: "sixteen", 17: "seventeen", 18: "eighteen", 19: "nineteen", 20: "twenty",
+	}
+	n := len(lint.All())
+	want, ok := words[n]
+	if !ok {
+		t.Fatalf("registry has %d analyzers; extend the number-word table", n)
+	}
+	if !strings.Contains(string(data), want+" analyzers") {
+		t.Errorf("README.md does not say %q analyzers; the registry has %d — update the prose", want, n)
 	}
 }
 
@@ -122,8 +190,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 17 {
-		t.Fatalf("got %d JSON lines, want 17:\n%s", len(lines), stdout)
+	if len(lines) != 20 {
+		t.Fatalf("got %d JSON lines, want 20:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -136,7 +204,7 @@ func TestJSONOutput(t *testing.T) {
 		}
 		byAnalyzer[d.Analyzer] = d
 	}
-	for _, want := range []string{"wallclock", "rngpurity", "lockcheck", "lockorder", "goleak", "errflow", "maporder", "purecheck", "hotalloc"} {
+	for _, want := range []string{"wallclock", "rngpurity", "lockcheck", "lockorder", "goleak", "errflow", "maporder", "purecheck", "hotalloc", "detclose", "inputflow", "exhaust"} {
 		if _, ok := byAnalyzer[want]; !ok {
 			t.Errorf("no %s finding in JSON output:\n%s", want, stdout)
 		}
@@ -146,6 +214,135 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if strings.Contains(stdout, ": goleak: ") {
 		t.Errorf("-json output contains text-format diagnostics:\n%s", stdout)
+	}
+}
+
+// TestWhyFlag pins the -why payload: the detclose finding prints its
+// full call path — root, intermediate hops, and the clock witness —
+// each hop anchored to a file:line in the fixture.
+func TestWhyFlag(t *testing.T) {
+	code, stdout, _ := runLint(t, "-root", badmod, "-why")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, want := range []string{
+		"\troot badmod/internal/experiments.Figure99 (internal/experiments/experiments.go:",
+		"\tcalls badmod/internal/experiments.measure (internal/experiments/experiments.go:",
+		"\tcalls badmod/internal/experiments.stamp (internal/experiments/experiments.go:",
+		"\ttime.Now (internal/experiments/experiments.go:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-why output missing hop %q:\n%s", want, stdout)
+		}
+	}
+	// Without -why the trace stays out of the stream.
+	_, plain, _ := runLint(t, "-root", badmod)
+	if strings.Contains(plain, "\troot ") {
+		t.Errorf("trace printed without -why:\n%s", plain)
+	}
+}
+
+// gitBadmod copies the badmod fixture into a fresh git repository and
+// returns its path plus a helper that commits the current state.
+func gitBadmod(t *testing.T) (string, func(msg string)) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := filepath.WalkDir(badmod, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(badmod, path)
+		dst := filepath.Join(dir, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q", "-b", "main")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+	return dir, func(msg string) {
+		git("add", ".")
+		git("commit", "-q", "-m", msg)
+	}
+}
+
+// TestDiffMode covers -diff end to end on a git-initialized badmod
+// copy: an unchanged tree reports nothing, a change to one package
+// reports only that package (plus reverse deps), and a non-Go change
+// falls back to the full run.
+func TestDiffMode(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	dir, _ := gitBadmod(t)
+
+	// No changes since HEAD: nothing to report, even though the module
+	// has 20 findings.
+	code, stdout, _ := runLint(t, "-root", dir, "-diff", "HEAD")
+	if code != 0 || stdout != "" {
+		t.Fatalf("clean diff: code = %d, stdout:\n%s", code, stdout)
+	}
+
+	// Touch one package: only its findings (slo.go's tenant package has
+	// no reverse deps inside badmod) come back.
+	slo := filepath.Join(dir, "internal", "tenant", "slo.go")
+	data, err := os.ReadFile(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(slo, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runLint(t, "-root", dir, "-diff", "HEAD")
+	if code != 1 {
+		t.Fatalf("diff run: code = %d\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "exhaust: switch over closed enum tenant.sloClass") ||
+		!strings.Contains(stdout, "lockcheck: write to r.tenants") {
+		t.Errorf("diff run missing the tenant package's findings:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "internal/cache/") || strings.Contains(stdout, "internal/experiments/") {
+		t.Errorf("diff run reports packages the change cannot affect:\n%s", stdout)
+	}
+
+	// A non-Go change falls back to the full run: all 20 findings.
+	if err := os.WriteFile(slo, data, 0o644); err != nil { // revert
+		t.Fatal(err)
+	}
+	gomod := filepath.Join(dir, "go.mod")
+	mod, err := os.ReadFile(gomod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gomod, append(mod, "// touched\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runLint(t, "-root", dir, "-diff", "HEAD")
+	if code != 1 || !strings.Contains(stderr, "20 finding(s)") {
+		t.Errorf("non-Go diff should run full: code = %d, stderr:\n%s", code, stderr)
+	}
+
+	// An unknown ref is a usage error, not a silent full run.
+	if code, _, _ = runLint(t, "-root", dir, "-diff", "no-such-ref"); code != 2 {
+		t.Errorf("bad ref: code = %d, want 2", code)
 	}
 }
 

@@ -1,0 +1,17 @@
+// Package controlplane is a deliberately non-conforming fixture: a
+// wire-decoded request whose raw field sizes an allocation with no
+// guard and no validator, so inputflow sweeps the real control plane's
+// decode-path idioms.
+package controlplane
+
+// Req mirrors a scheduler API request: it arrives off the wire.
+// silod:untrusted
+type Req struct {
+	Blocks int
+}
+
+// reserve breaks inputflow: the untrusted count sizes an allocation
+// before anything bounds it.
+func reserve(req Req) []int64 {
+	return make([]int64, req.Blocks)
+}

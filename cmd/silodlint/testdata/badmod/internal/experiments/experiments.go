@@ -1,0 +1,25 @@
+// Package experiments is a deliberately non-conforming fixture: a
+// declared simulation root whose transitive call graph reaches the wall
+// clock without an injection boundary, so detclose proves the
+// whole-program determinism closure catches it. The package is outside
+// wallclock's path scope, so only the call-graph analyzer fires.
+package experiments
+
+import "time"
+
+// Figure99 is the seeded determinism leak: the root never touches the
+// clock itself — the leak is two frames down, which only the
+// whole-program summary pass can see.
+// silod:sim-root
+func Figure99() float64 {
+	return measure()
+}
+
+// measure launders the clock access through one more frame.
+func measure() float64 {
+	return stamp().Sub(stamp()).Seconds()
+}
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// slo.go seeds the exhaust violation: a closed SLO enum whose switch
+// forgets the newest tier and silently falls through.
+package tenant
+
+// sloClass mirrors the real tenant package's service tiers.
+// silod:enum
+type sloClass int
+
+const (
+	sloStandard sloClass = iota
+	sloCritical
+	sloSheddable
+)
+
+// sloWeight breaks exhaust: sloSheddable is not covered and there is no
+// default, so sheddable tenants silently weigh the zero value.
+func sloWeight(c sloClass) float64 {
+	switch c {
+	case sloStandard:
+		return 1
+	case sloCritical:
+		return 2
+	}
+	return 0
+}

@@ -13,10 +13,13 @@
 package controlplane
 
 import (
+	"fmt"
+
 	"repro/internal/unit"
 )
 
 // RegisterDatasetRequest declares a dataset to the data manager.
+// silod:untrusted
 type RegisterDatasetRequest struct {
 	Name      string     `json:"name"`
 	Size      unit.Bytes `json:"size"`
@@ -24,6 +27,7 @@ type RegisterDatasetRequest struct {
 }
 
 // AttachJobRequest binds a job to a dataset.
+// silod:untrusted
 type AttachJobRequest struct {
 	JobID   string `json:"job_id"`
 	Dataset string `json:"dataset"`
@@ -31,6 +35,7 @@ type AttachJobRequest struct {
 
 // AllocateCacheRequest is Table 3's allocateCacheSize(dataset_uri,
 // cache_size).
+// silod:untrusted
 type AllocateCacheRequest struct {
 	Dataset string     `json:"dataset"`
 	Size    unit.Bytes `json:"size"`
@@ -38,12 +43,14 @@ type AllocateCacheRequest struct {
 
 // AllocateRemoteIORequest is Table 3's allocateRemoteIO(job_id,
 // io_speed).
+// silod:untrusted
 type AllocateRemoteIORequest struct {
 	JobID string         `json:"job_id"`
 	Speed unit.Bandwidth `json:"speed"`
 }
 
 // ReadRequest is one block access from a FUSE client.
+// silod:untrusted
 type ReadRequest struct {
 	JobID string `json:"job_id"`
 	Block int    `json:"block"`
@@ -72,6 +79,7 @@ type JobStatsResponse struct {
 // remembers which job each request ID created, so a client retrying a
 // submit whose response was lost gets success instead of a duplicate
 // error. The HTTP client fills it automatically.
+// silod:untrusted
 type SubmitJobRequest struct {
 	JobID           string         `json:"job_id"`
 	Model           string         `json:"model"`
@@ -93,6 +101,7 @@ type SubmitJobRequest struct {
 // contributes to the cluster. A node that stops heartbeating past the
 // liveness timeout is declared dead and its capacity leaves the
 // scheduler's effective cluster until it heartbeats again.
+// silod:untrusted
 type HeartbeatRequest struct {
 	Node  string     `json:"node"`
 	GPUs  int        `json:"gpus"`
@@ -125,6 +134,7 @@ type TenantStatus struct {
 
 // ProgressRequest reports a job's training progress (the scheduler
 // monitors progress "via data access requests", §6).
+// silod:untrusted
 type ProgressRequest struct {
 	JobID          string     `json:"job_id"`
 	AttainedBytes  unit.Bytes `json:"attained_bytes"`
@@ -165,4 +175,113 @@ type DatasetGeom struct {
 // ErrorResponse carries an error over the wire.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// The Validate methods below are the admission boundary for every
+// wire-decoded request: each handler calls Validate before any field
+// reaches capacity accounting, allocation sizing or the data plane.
+// They check what is knowable from the request alone; context-dependent
+// checks (cluster size, registered tenants) stay with the server.
+
+// Validate rejects malformed dataset registrations.
+// silod:validator
+func (r *RegisterDatasetRequest) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("controlplane: register needs a dataset name")
+	}
+	if r.Size <= 0 {
+		return fmt.Errorf("controlplane: dataset %s has non-positive size %v", r.Name, r.Size)
+	}
+	if r.BlockSize < 0 {
+		return fmt.Errorf("controlplane: dataset %s has negative block size %v", r.Name, r.BlockSize)
+	}
+	return nil
+}
+
+// Validate rejects malformed job attachments.
+// silod:validator
+func (r *AttachJobRequest) Validate() error {
+	if r.JobID == "" || r.Dataset == "" {
+		return fmt.Errorf("controlplane: attach needs job_id and dataset")
+	}
+	return nil
+}
+
+// Validate rejects malformed cache allocations.
+// silod:validator
+func (r *AllocateCacheRequest) Validate() error {
+	if r.Dataset == "" {
+		return fmt.Errorf("controlplane: cache allocation needs a dataset")
+	}
+	if r.Size < 0 {
+		return fmt.Errorf("controlplane: dataset %s allocated negative cache %v", r.Dataset, r.Size)
+	}
+	return nil
+}
+
+// Validate rejects malformed remote-IO allocations.
+// silod:validator
+func (r *AllocateRemoteIORequest) Validate() error {
+	if r.JobID == "" {
+		return fmt.Errorf("controlplane: remote-IO allocation needs a job_id")
+	}
+	if r.Speed < 0 {
+		return fmt.Errorf("controlplane: job %s allocated negative remote IO %v", r.JobID, r.Speed)
+	}
+	return nil
+}
+
+// Validate rejects malformed block reads.
+// silod:validator
+func (r *ReadRequest) Validate() error {
+	if r.JobID == "" {
+		return fmt.Errorf("controlplane: read needs a job_id")
+	}
+	if r.Block < 0 {
+		return fmt.Errorf("controlplane: job %s reads negative block %d", r.JobID, r.Block)
+	}
+	return nil
+}
+
+// Validate rejects submissions that are malformed independent of the
+// cluster; the scheduler additionally bounds NumGPUs by cluster size.
+// silod:validator
+func (r *SubmitJobRequest) Validate() error {
+	if r.JobID == "" || r.Dataset == "" {
+		return fmt.Errorf("controlplane: submit needs job_id and dataset")
+	}
+	if r.NumGPUs <= 0 {
+		return fmt.Errorf("controlplane: job %s requests %d GPUs", r.JobID, r.NumGPUs)
+	}
+	if r.DatasetSize <= 0 || r.IdealThroughput <= 0 || r.TotalBytes <= 0 {
+		return fmt.Errorf("controlplane: job %s has incomplete profile", r.JobID)
+	}
+	return nil
+}
+
+// Validate rejects malformed heartbeats.
+// silod:validator
+func (r *HeartbeatRequest) Validate() error {
+	if r.Node == "" {
+		return fmt.Errorf("controlplane: heartbeat needs a node name")
+	}
+	if r.GPUs < 0 || r.Cache < 0 {
+		return fmt.Errorf("controlplane: node %s heartbeats negative capacity", r.Node)
+	}
+	return nil
+}
+
+// Validate rejects malformed progress reports: a negative counter would
+// inflate RemainingBytes (TotalBytes - attained) and skew every later
+// scheduling round, so it must not reach the job record.
+// silod:validator
+func (r *ProgressRequest) Validate() error {
+	if r.JobID == "" {
+		return fmt.Errorf("controlplane: progress needs a job_id")
+	}
+	if r.AttainedBytes < 0 || r.EffectiveCache < 0 || r.CachedBytes < 0 {
+		return fmt.Errorf("controlplane: job %s reports negative progress (attained %v, effective %v, cached %v)",
+			r.JobID, r.AttainedBytes, r.EffectiveCache, r.CachedBytes)
+	}
+	return nil
 }

@@ -206,6 +206,47 @@ func TestProgressDrivesCompletion(t *testing.T) {
 	}
 }
 
+// TestProgressRejectsNegativeReports pins the decode-path hardening: a
+// negative counter must never reach the job record, where it would
+// inflate RemainingBytes (TotalBytes - attained) on every later
+// scheduling round.
+func TestProgressRejectsNegativeReports(t *testing.T) {
+	pol, err := policy.Build(policy.FIFOKind, policy.SiloD, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedC, dmC, _, stop := newStack(t, pol)
+	defer stop()
+	req := submitReq("a", 1, unit.GiB(10))
+	if err := schedC.SubmitJob(req); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ProgressRequest{
+		{JobID: "a", AttainedBytes: -unit.GiB(1)},
+		{JobID: "a", EffectiveCache: -unit.GiB(1)},
+		{JobID: "a", CachedBytes: -unit.GiB(1)},
+		{AttainedBytes: unit.GiB(1)}, // no job_id
+	}
+	for i, pr := range bad {
+		if err := schedC.ReportProgress(pr); err == nil {
+			t.Errorf("bad progress report %d accepted", i)
+		}
+	}
+	jobs, err := schedC.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].AttainedBytes != 0 || jobs[0].RemainingBytes != req.TotalBytes {
+		t.Errorf("rejected report mutated the job record: attained %v, remaining %v (want 0, %v)",
+			jobs[0].AttainedBytes, jobs[0].RemainingBytes, req.TotalBytes)
+	}
+	// The data manager's read path rejects negative blocks the same way
+	// (submit already registered ds-a and attached job a).
+	if _, err := dmC.Read("a", -1); err == nil {
+		t.Error("negative block read accepted")
+	}
+}
+
 func TestRunLoopSchedulesPeriodically(t *testing.T) {
 	pol, err := policy.Build(policy.GavelKind, policy.SiloD, 1)
 	if err != nil {

@@ -70,6 +70,10 @@ func (s *DataManagerServer) handleRegisterDataset(w http.ResponseWriter, r *http
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	bs := req.BlockSize
 	if bs <= 0 {
 		bs = 64 * unit.MB
@@ -84,6 +88,10 @@ func (s *DataManagerServer) handleRegisterDataset(w http.ResponseWriter, r *http
 func (s *DataManagerServer) handleAttachJob(w http.ResponseWriter, r *http.Request) {
 	var req AttachJobRequest
 	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -105,6 +113,10 @@ func (s *DataManagerServer) handleAllocateCache(w http.ResponseWriter, r *http.R
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if err := s.mgr.AllocateCacheSize(req.Dataset, req.Size); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -118,6 +130,10 @@ func (s *DataManagerServer) handleAllocateRemoteIO(w http.ResponseWriter, r *htt
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if err := s.mgr.AllocateRemoteIO(req.JobID, req.Speed); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -128,6 +144,10 @@ func (s *DataManagerServer) handleAllocateRemoteIO(w http.ResponseWriter, r *htt
 func (s *DataManagerServer) handleRead(w http.ResponseWriter, r *http.Request) {
 	var req ReadRequest
 	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

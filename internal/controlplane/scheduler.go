@@ -149,15 +149,12 @@ func (s *SchedulerServer) ConfigureTenants(reg *tenant.Registry) {
 
 // Submit registers a job and wires its dataset into the data plane.
 func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
-	if req.JobID == "" || req.Dataset == "" {
-		return fmt.Errorf("controlplane: submit needs job_id and dataset")
+	if err := req.Validate(); err != nil {
+		return err
 	}
-	if req.NumGPUs <= 0 || req.NumGPUs > s.cluster.GPUs {
+	if req.NumGPUs > s.cluster.GPUs {
 		return fmt.Errorf("controlplane: job %s requests %d GPUs (cluster has %d)",
 			req.JobID, req.NumGPUs, s.cluster.GPUs)
-	}
-	if req.DatasetSize <= 0 || req.IdealThroughput <= 0 || req.TotalBytes <= 0 {
-		return fmt.Errorf("controlplane: job %s has incomplete profile", req.JobID)
 	}
 	s.mu.Lock()
 	if req.RequestID != "" {
@@ -196,8 +193,13 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 	return s.dp.AttachJob(req.JobID, req.Dataset)
 }
 
-// Progress records a job's progress report.
+// Progress records a job's progress report. Reports are validated
+// before they touch the job record: a negative attained-bytes counter
+// would otherwise inflate RemainingBytes in every later round.
 func (s *SchedulerServer) Progress(req ProgressRequest) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[req.JobID]
@@ -234,11 +236,8 @@ func (s *SchedulerServer) SetNodeLivenessTimeout(d time.Duration) {
 // current allocations to the data plane, so a data manager that lost
 // state with the node converges without waiting for the next round.
 func (s *SchedulerServer) Heartbeat(req HeartbeatRequest) error {
-	if req.Node == "" {
-		return fmt.Errorf("controlplane: heartbeat needs a node name")
-	}
-	if req.GPUs < 0 || req.Cache < 0 {
-		return fmt.Errorf("controlplane: node %s heartbeats negative capacity", req.Node)
+	if err := req.Validate(); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	n, known := s.nodes[req.Node]
@@ -633,6 +632,10 @@ func (s *SchedulerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *SchedulerServer) handleProgress(w http.ResponseWriter, r *http.Request) {
 	var req ProgressRequest
 	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

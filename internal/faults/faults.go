@@ -20,6 +20,7 @@ import (
 )
 
 // Kind classifies a fault-schedule event.
+// silod:enum
 type Kind string
 
 // The fault taxonomy. Losses remove capacity; restores return
@@ -190,6 +191,10 @@ func (s *Schedule) Validate(base core.Cluster) error {
 			lostIO += e.RemoteIO
 		case KindIORestore:
 			lostIO -= e.RemoteIO
+		case KindJobCrash:
+			// No capacity effect: the crash preempts one job but the
+			// cluster keeps its GPUs. Target-job existence is checked by
+			// the engine, which knows the trace (sim.Run).
 		}
 		if lostGPUs < 0 || lostCache < 0 || lostIO < 0 {
 			return fmt.Errorf("event %d: %s at t=%v restores more than the outstanding loss", i, e.Kind, e.At)

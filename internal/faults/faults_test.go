@@ -101,6 +101,32 @@ func TestScheduleValidateFeasibility(t *testing.T) {
 	}
 }
 
+// TestJobCrashHasNoCapacityEffect pins the explicit no-op cases in
+// Schedule.Validate and Injector.Next: a crash event validates against
+// any cluster (it preempts one job, the cluster keeps its GPUs) and is
+// delivered to the engine without touching effective capacity.
+func TestJobCrashHasNoCapacityEffect(t *testing.T) {
+	cl := testCluster()
+	s := &Schedule{Events: []Event{{At: 10, Kind: KindJobCrash, Job: "j1"}}}
+	if err := s.Validate(cl); err != nil {
+		t.Fatalf("Validate = %v, want nil: crashes have no capacity effect", err)
+	}
+	in, err := NewInjector(cl, s, metrics.NewRegistry("test"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := in.Next(10)
+	if !ok || ev.Kind != KindJobCrash || ev.Job != "j1" {
+		t.Fatalf("Next(10) = %+v,%v, want the j1 crash", ev, ok)
+	}
+	if got := in.Effective(); got != cl {
+		t.Errorf("crash changed effective capacity: %+v, want %+v", got, cl)
+	}
+	if in.TimeDegraded() != 0 {
+		t.Errorf("crash accrued degraded time %v, want 0", in.TimeDegraded())
+	}
+}
+
 // TestInjectorReplay drives the injector through loss and recovery and
 // checks the effective-capacity view, degraded-time accounting, and
 // event ordering.

@@ -110,6 +110,9 @@ func (in *Injector) Next(now unit.Time) (Event, bool) {
 		in.lostIO += ev.RemoteIO
 	case KindIORestore:
 		in.lostIO -= ev.RemoteIO
+	case KindJobCrash:
+		// No effective-capacity change: the engine translates the crash
+		// into a preemption; the injector only stamps and counts it.
 	}
 	kind := metrics.EventFault
 	if ev.Kind.Recovery() {

@@ -144,6 +144,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{MapOrder, "maporder", "fixture/internal/sim"},
 		{PureCheck, "purecheck", "fixture/internal/policy"},
 		{HotAlloc, "hotalloc", "fixture/internal/eventq"},
+		{DetClose, "detclose", "fixture/internal/sim"},
+		{InputFlow, "inputflow", "fixture/internal/controlplane"},
+		{Exhaust, "exhaust", "fixture/internal/policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

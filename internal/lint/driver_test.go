@@ -35,6 +35,31 @@ func TestRepoLintClean(t *testing.T) {
 	}
 }
 
+// BenchmarkLintTree times one full-suite run over the repository —
+// load, type-check, all fifteen analyzers including the whole-program
+// summary phase — with allocation reporting, so a regression in the
+// call-graph engine's memory behavior shows up next to the wall-clock
+// number CI's 60-second lint assertion depends on.
+func BenchmarkLintTree(b *testing.B) {
+	root := filepath.Join("..", "..")
+	allow, err := ParseAllowFile(filepath.Join(root, "lint.allow"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(root, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range res.Diagnostics {
+			if !allow.Allows(d) {
+				b.Fatalf("tree is not clean: %s", d)
+			}
+		}
+	}
+}
+
 // TestRetiredFloatcmpRulesGoStale proves the stale-rule detector earns
 // its keep: the four floatcmp exceptions that used to cover
 // internal/sim record-on-change comparisons were retired by the

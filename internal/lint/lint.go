@@ -37,6 +37,17 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// Trace is the call path behind a whole-program finding (detclose):
+	// the root declaration, each call hop, and the effect's witness
+	// site. The CLI prints it under -why.
+	Trace []TraceEntry
+}
+
+// TraceEntry is one hop of a whole-program call path.
+type TraceEntry struct {
+	Call string // "root pkg.F", "calls pkg.G", or the effect witness
+	Pos  token.Position
 }
 
 // String renders the finding in the canonical file:line:col format.
@@ -92,12 +103,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in reporting order.
+// reportTrace records a finding carrying a whole-program call path.
+func (p *Pass) reportTrace(pos token.Pos, trace []TraceEntry, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Trace:    trace,
+	})
+}
+
+// All returns the full analyzer suite in reporting order. This slice is
+// the single registry: -list, the README analyzer count, and the docs
+// are all asserted against it, so adding an analyzer here is the whole
+// registration step.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Wallclock, RNGPurity, UnitSafety, MetricNames, FloatCmp,
 		Lockcheck, Lockorder, Goleak, Errflow,
 		MapOrder, PureCheck, HotAlloc,
+		DetClose, InputFlow, Exhaust,
 	}
 }
 

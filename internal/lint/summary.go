@@ -1,0 +1,724 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the per-package call-graph fragments consumed by
+// callgraph.go: one fnInfo per declared function, recording direct
+// effects (with a witness site for -why traces), outgoing call edges,
+// and taint flow observations for inputflow. All AST work happens here,
+// inside the parallel per-package Run phase; finalize only joins
+// fragments, so the engine adds no sequential bottleneck to the driver.
+//
+// Annotation grammar (doc comments; see docs/static-analysis.md):
+//
+//	// silod:sim-root               — detclose proves no gated effect
+//	//                                is transitively reachable
+//	// silod:inject eff[,eff...]    — the named effects stop propagating
+//	//                                past this function: it is an
+//	//                                audited injection boundary
+//	// silod:validator              — passing a request value here
+//	//                                sanitizes all its fields below the
+//	//                                call site
+//	// silod:untrusted              — (on a struct type) values decode
+//	//                                from external input; field reads
+//	//                                are taint sources
+//
+// Taint model: every parameter and every local of a module-declared
+// named struct type is tracked. Reading a field of a tracked struct
+// value yields a provenance (root object, field path); assignments
+// propagate provenances in source order. A flow into a sink (make size,
+// slice index, loop bound, compound assignment into a struct field) or
+// a call argument is recorded unless an earlier if-guard over the same
+// (root, field) returns/branches out — the repo's inline-validation
+// idiom — or the root already passed through a silod:validator.
+
+// cgProv is one provenance a tracked value carries.
+type cgProv struct {
+	param int             // parameter index, -1 if not parameter-derived
+	utype *types.TypeName // named struct type of the origin, nil otherwise
+	field string          // field path read off the origin ("" = whole value)
+	root  types.Object    // origin object, the sanitization key
+}
+
+type provKey struct {
+	root  types.Object
+	field string
+}
+
+// parseCGFuncDoc extracts the call-graph annotations from a function
+// doc comment. Grammar errors come back as (owner, message) pairs so
+// the analyzer that owns the annotation reports them.
+func parseCGFuncDoc(doc *ast.CommentGroup) (root bool, inject effect, validator bool, bad []cgBadAnn) {
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		switch {
+		case text == "silod:sim-root":
+			root = true
+		case strings.HasPrefix(text, "silod:sim-root"):
+			bad = append(bad, cgBadAnn{owner: "detclose", pos: c.Pos(),
+				msg: "silod:sim-root takes no operands (grammar: // silod:sim-root)"})
+		case strings.HasPrefix(text, "silod:inject"):
+			ops := strings.TrimSpace(strings.TrimPrefix(text, "silod:inject"))
+			if ops == "" {
+				bad = append(bad, cgBadAnn{owner: "detclose", pos: c.Pos(),
+					msg: fmt.Sprintf("silod:inject needs at least one effect (grammar: // silod:inject %s)", strings.Join(effectNames[:], "|"))})
+				continue
+			}
+			for _, op := range strings.Split(ops, ",") {
+				e, ok := effectByName(strings.TrimSpace(op))
+				if !ok {
+					bad = append(bad, cgBadAnn{owner: "detclose", pos: c.Pos(),
+						msg: fmt.Sprintf("silod:inject: unknown effect %q (one of %s)", strings.TrimSpace(op), strings.Join(effectNames[:], ", "))})
+					continue
+				}
+				inject |= e
+			}
+		case text == "silod:validator":
+			validator = true
+		case strings.HasPrefix(text, "silod:validator"):
+			bad = append(bad, cgBadAnn{owner: "inputflow", pos: c.Pos(),
+				msg: "silod:validator takes no operands (grammar: // silod:validator)"})
+		}
+	}
+	return
+}
+
+// typeSpecDoc returns the doc comment of a type spec, falling back to
+// the enclosing single-spec GenDecl's doc (the common `type T struct`
+// spelling).
+func typeSpecDoc(decl *ast.GenDecl, spec *ast.TypeSpec) *ast.CommentGroup {
+	if spec.Doc != nil {
+		return spec.Doc
+	}
+	if len(decl.Specs) == 1 {
+		return decl.Doc
+	}
+	return nil
+}
+
+// docHasMarker reports whether a doc comment contains the given
+// standalone silod: marker line.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCGFragment summarizes one package. Called once per package by
+// whichever graph-backed analyzer runs first (via ensureCGFragment).
+func buildCGFragment(p *Pass) *cgFragment {
+	f := &cgFragment{path: p.Path, validators: make(map[*types.Func]bool)}
+	if p.Pkg != nil {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, isIface := tn.Type().Underlying().(*types.Interface); !isIface {
+				f.concretes = append(f.concretes, tn)
+			}
+		}
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !docHasMarker(typeSpecDoc(d, ts), "silod:untrusted") {
+						continue
+					}
+					tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+						f.bad = append(f.bad, cgBadAnn{owner: "inputflow", pos: ts.Pos(),
+							msg: fmt.Sprintf("silod:untrusted applies to struct types; %s is not a struct", ts.Name.Name)})
+						continue
+					}
+					f.untrusted = append(f.untrusted, tn)
+				}
+			case *ast.FuncDecl:
+				fn, ok := p.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				root, inject, validator, bad := parseCGFuncDoc(d.Doc)
+				for _, b := range bad {
+					b.pos = d.Pos() // report at the declaration, like purecheck
+					f.bad = append(f.bad, b)
+				}
+				if validator {
+					f.validators[fn] = true
+				}
+				fi := &fnInfo{
+					fn:      fn,
+					pos:     d.Pos(),
+					root:    root,
+					inject:  inject,
+					witness: make(map[effect]cgWitness),
+				}
+				if d.Body != nil {
+					w := &sumWalker{
+						p:     p,
+						fi:    fi,
+						body:  d.Body,
+						taint: make(map[types.Object][]cgProv),
+						san:   make(map[provKey]bool),
+					}
+					w.seedParams(d)
+					w.collectCalledIdents(d.Body)
+					w.walk(d.Body)
+				}
+				f.fns = append(f.fns, fi)
+			}
+		}
+	}
+	return f
+}
+
+// sumWalker carries the state of one function's summary walk.
+type sumWalker struct {
+	p      *Pass
+	fi     *fnInfo
+	body   *ast.BlockStmt // the declaration's body, for the sort-after-loop probe
+	taint  map[types.Object][]cgProv
+	san    map[provKey]bool
+	called map[*ast.Ident]bool // idents that are the Fun of a call
+}
+
+// addProv taints obj with pv unless an identical provenance is already
+// recorded (keeps repeated assignments from duplicating flow records).
+func (w *sumWalker) addProv(obj types.Object, pv cgProv) {
+	for _, have := range w.taint[obj] {
+		if have == pv {
+			return
+		}
+	}
+	w.taint[obj] = append(w.taint[obj], pv)
+}
+
+// seedParams taints every declared parameter.
+func (w *sumWalker) seedParams(fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++ // unnamed parameter still occupies a position
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := w.p.Info.Defs[name]; obj != nil {
+				w.addProv(obj, cgProv{
+					param: idx,
+					utype: namedStructOf(obj.Type()),
+					root:  obj,
+				})
+			}
+			idx++
+		}
+	}
+}
+
+// collectCalledIdents marks the identifiers that appear as the called
+// operand of a CallExpr, so bare *types.Func references elsewhere are
+// recognized as address-taken edges.
+func (w *sumWalker) collectCalledIdents(body *ast.BlockStmt) {
+	w.called = make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			w.called[fun] = true
+		case *ast.SelectorExpr:
+			w.called[fun.Sel] = true
+		}
+		return true
+	})
+}
+
+// namedStructOf returns the TypeName of a named struct type (through
+// one pointer level), or nil.
+func namedStructOf(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return n.Obj()
+}
+
+// walk visits the body in source order (function literals included:
+// their effects and flows belong to the enclosing declaration).
+func (w *sumWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			w.addEffect(effGoroutine, "go statement", n.Pos())
+		case *ast.DeclStmt:
+			w.declare(n)
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.IncDecStmt:
+			w.checkGlobalWrite(n.X, n.Pos())
+		case *ast.IfStmt:
+			w.guard(n)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				w.recordSinks(w.mentions(n.Cond), sinkLoopBound, n.Cond.Pos())
+			}
+		case *ast.RangeStmt:
+			w.rangeStmt(n)
+		case *ast.IndexExpr:
+			w.index(n)
+		case *ast.CallExpr:
+			w.call(n)
+		case *ast.Ident:
+			w.bareFuncRef(n)
+		}
+		return true
+	})
+}
+
+// addEffect records a direct effect, keeping the first witness site.
+func (w *sumWalker) addEffect(e effect, what string, pos token.Pos) {
+	if w.fi.direct&e == 0 {
+		w.fi.direct |= e
+		w.fi.witness[e] = cgWitness{what: what, pos: pos}
+	}
+}
+
+// declare seeds taint for `var req T` locals of named struct types.
+func (w *sumWalker) declare(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			w.seedLocal(name)
+		}
+	}
+}
+
+// seedLocal taints a newly declared local if its type is a named
+// struct: decode targets are exactly such locals, and whether the type
+// is *untrusted* is decided at finalize when every annotation is known.
+func (w *sumWalker) seedLocal(id *ast.Ident) {
+	obj := w.p.Info.Defs[id]
+	if obj == nil {
+		return
+	}
+	tn := namedStructOf(obj.Type())
+	if tn == nil {
+		return
+	}
+	w.addProv(obj, cgProv{param: -1, utype: tn, root: obj})
+}
+
+// assign handles the quota-arithmetic sink, global-write detection, and
+// source-order taint propagation.
+func (w *sumWalker) assign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := ast.Unparen(as.Lhs[0])
+		w.checkGlobalWrite(lhs, as.Pos())
+		if _, isField := lhs.(*ast.SelectorExpr); isField {
+			w.recordSinks(w.mentions(as.Rhs[0]), sinkQuotaArith, as.Pos())
+		}
+		return
+	case token.DEFINE, token.ASSIGN:
+	default:
+		return
+	}
+	for _, l := range as.Lhs {
+		w.checkGlobalWrite(ast.Unparen(l), as.Pos())
+	}
+	for i, l := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			w.seedLocal(id)
+		}
+		if rhs == nil {
+			continue
+		}
+		obj := w.objOf(id)
+		if obj == nil {
+			continue
+		}
+		for _, pv := range w.mentions(rhs) {
+			w.addProv(obj, pv)
+		}
+	}
+}
+
+// checkGlobalWrite records the package-state-write effect for writes
+// whose base resolves to a package-level variable.
+func (w *sumWalker) checkGlobalWrite(lhs ast.Expr, pos token.Pos) {
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	v, ok := w.p.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	w.addEffect(effGlobalWrite, "write to package variable "+v.Name(), pos)
+}
+
+// guard applies the inline-validation idiom: an if whose condition
+// mentions tracked provenances and whose body exits the normal flow
+// sanitizes those (root, field) pairs for the rest of the walk.
+func (w *sumWalker) guard(is *ast.IfStmt) {
+	provs := w.mentionsRaw(is.Cond)
+	if len(provs) == 0 || !bodyExits(is.Body) {
+		return
+	}
+	for _, pv := range provs {
+		w.san[provKey{root: pv.root, field: pv.field}] = true
+	}
+}
+
+// bodyExits reports whether a block leaves the surrounding control flow
+// (return, branch, or panic) — the shape of a validation guard.
+func bodyExits(body *ast.BlockStmt) bool {
+	exits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			exits = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				exits = true
+			}
+		}
+		return !exits
+	})
+	return exits
+}
+
+// rangeStmt propagates taint to loop variables and probes the
+// map-order effect with the shared rngpurity/maporder helpers.
+func (w *sumWalker) rangeStmt(rs *ast.RangeStmt) {
+	if isMapRange(w.p, rs) && rs.Body != nil {
+		if emitsOutput(w.p, rs.Body) || len(unsortedAppends(w.p, rs.Body, w.body)) > 0 {
+			w.addEffect(effMapOrder, "map-range emission", rs.Pos())
+		}
+	}
+	provs := w.mentions(rs.X)
+	if len(provs) == 0 {
+		return
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := w.p.Info.Defs[id]; obj != nil {
+			for _, pv := range provs {
+				w.addProv(obj, pv)
+			}
+		}
+	}
+}
+
+// index fires the slice-index sink; map indexing is safe for any key.
+func (w *sumWalker) index(ix *ast.IndexExpr) {
+	tv, ok := w.p.Info.Types[ix.X]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return
+		}
+	default:
+		return
+	}
+	w.recordSinks(w.mentions(ix.Index), sinkIndex, ix.Pos())
+}
+
+// call records effect witnesses, call-graph edges, argument flows, and
+// validator gates for one call expression.
+func (w *sumWalker) call(call *ast.CallExpr) {
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := w.p.Info.Uses[fun].(type) {
+		case *types.Builtin:
+			if fun.Name == "make" && len(call.Args) > 1 {
+				for _, sz := range call.Args[1:] {
+					w.recordSinks(w.mentions(sz), sinkAllocSize, call.Pos())
+				}
+			}
+			return
+		case *types.Func:
+			w.staticCall(call, obj)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, isPkg := pkgNameOf(w.p.Info, id); isPkg {
+				if fnObj, ok := w.p.Info.Uses[fun.Sel].(*types.Func); ok {
+					w.staticCall(call, fnObj)
+				}
+				return
+			}
+		}
+		sel, ok := w.p.Info.Selections[fun]
+		if !ok {
+			// Method expression T.M: resolves like a plain function.
+			if fnObj, ok := w.p.Info.Uses[fun.Sel].(*types.Func); ok {
+				w.staticCall(call, fnObj)
+			}
+			return
+		}
+		fnObj, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return // func-typed field: the injection idiom, unresolved
+		}
+		if sig, ok := fnObj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				w.ifaceCall(call, sel.Recv(), fnObj)
+				return
+			}
+		}
+		w.gateReceiver(fun.X, fnObj, call.Pos())
+		w.staticCall(call, fnObj)
+	}
+}
+
+// staticCall handles a call with a resolved concrete target: the
+// wallclock/RNG direct effects, the graph edge, argument flows, and
+// validator gates.
+func (w *sumWalker) staticCall(call *ast.CallExpr, fnObj *types.Func) {
+	if pkg := fnObj.Pkg(); pkg != nil {
+		sig, _ := fnObj.Type().(*types.Signature)
+		pkgLevel := sig == nil || sig.Recv() == nil
+		switch {
+		case pkg.Path() == "time" && pkgLevel:
+			if _, banned := wallclockBanned[fnObj.Name()]; banned {
+				w.addEffect(effWallclock, "time."+fnObj.Name(), call.Pos())
+			}
+		case strings.HasPrefix(pkg.Path(), "math/rand") && pkgLevel &&
+			!strings.HasPrefix(fnObj.Name(), "New"):
+			w.addEffect(effGlobalRNG, pkg.Path()+"."+fnObj.Name(), call.Pos())
+		}
+	}
+	w.fi.calls = append(w.fi.calls, cgCall{callee: fnObj, pos: call.Pos()})
+	w.argFlows(call, fnObj, nil, "")
+	for _, arg := range call.Args {
+		w.gateReceiver(arg, fnObj, call.Pos())
+	}
+}
+
+// ifaceCall records a dynamic call through a named interface defined in
+// an analyzed package; resolution happens at finalize.
+func (w *sumWalker) ifaceCall(call *ast.CallExpr, recv types.Type, fnObj *types.Func) {
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	w.fi.calls = append(w.fi.calls, cgCall{iface: named.Obj(), method: fnObj.Name(), pos: call.Pos()})
+	w.argFlows(call, nil, named.Obj(), fnObj.Name())
+}
+
+// argFlows records one flow per tracked provenance per argument.
+func (w *sumWalker) argFlows(call *ast.CallExpr, callee *types.Func, iface *types.TypeName, method string) {
+	var nparams int
+	var sig *types.Signature
+	if callee != nil {
+		sig, _ = callee.Type().(*types.Signature)
+	}
+	if sig != nil {
+		nparams = sig.Params().Len()
+	}
+	for j, arg := range call.Args {
+		provs := w.mentions(arg)
+		if len(provs) == 0 {
+			continue
+		}
+		cp := j
+		if sig != nil {
+			if nparams == 0 {
+				continue
+			}
+			if cp >= nparams {
+				cp = nparams - 1 // variadic tail
+			}
+		}
+		for _, pv := range provs {
+			w.fi.flows = append(w.fi.flows, cgFlow{
+				param: pv.param, utype: pv.utype, field: pv.field, root: pv.root,
+				pos: arg.Pos(), callee: callee, calleeParam: cp,
+				iface: iface, method: method,
+			})
+		}
+	}
+}
+
+// gateReceiver records a validator gate when a whole tracked struct
+// value (or its address) is passed to a concrete function.
+func (w *sumWalker) gateReceiver(e ast.Expr, callee *types.Func, pos token.Pos) {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.objOf(id)
+	if obj == nil {
+		return
+	}
+	for _, pv := range w.taint[obj] {
+		if pv.utype != nil && pv.field == "" {
+			w.fi.gates = append(w.fi.gates, cgGate{root: pv.root, callee: callee, pos: pos})
+			return
+		}
+	}
+}
+
+// bareFuncRef adds an address-taken edge for a module function used as
+// a value (stored in a table, passed as a callback).
+func (w *sumWalker) bareFuncRef(id *ast.Ident) {
+	if w.called[id] {
+		return
+	}
+	fn, ok := w.p.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return // interface method value: unresolved, like func values
+		}
+	}
+	w.fi.calls = append(w.fi.calls, cgCall{callee: fn, pos: id.Pos()})
+}
+
+// recordSinks records one flow per unsanitized provenance.
+func (w *sumWalker) recordSinks(provs []cgProv, sink sinkKind, pos token.Pos) {
+	for _, pv := range provs {
+		w.fi.flows = append(w.fi.flows, cgFlow{
+			param: pv.param, utype: pv.utype, field: pv.field, root: pv.root,
+			pos: pos, sink: sink,
+		})
+	}
+}
+
+// mentions returns the provenances of the tracked values an expression
+// reads, with sanitized (root, field) pairs filtered out.
+func (w *sumWalker) mentions(e ast.Expr) []cgProv {
+	var out []cgProv
+	for _, pv := range w.mentionsRaw(e) {
+		if !w.san[provKey{root: pv.root, field: pv.field}] {
+			out = append(out, pv)
+		}
+	}
+	return out
+}
+
+// mentionsRaw is mentions without the sanitization filter (guards use
+// it to know which pairs to sanitize).
+func (w *sumWalker) mentionsRaw(e ast.Expr) []cgProv {
+	if e == nil {
+		return nil
+	}
+	var out []cgProv
+	seen := make(map[*ast.Ident]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id := rootIdent(n)
+			if id == nil || seen[id] {
+				return true
+			}
+			obj := w.objOf(id)
+			provs := w.taint[obj]
+			if len(provs) == 0 {
+				return true
+			}
+			seen[id] = true
+			field := strings.TrimPrefix(exprPath(n), id.Name+".")
+			for _, pv := range provs {
+				if pv.field == "" {
+					pv.field = field
+				}
+				out = append(out, pv)
+			}
+		case *ast.Ident:
+			if seen[n] {
+				return true
+			}
+			if provs := w.taint[w.objOf(n)]; len(provs) > 0 {
+				seen[n] = true
+				out = append(out, provs...)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *sumWalker) objOf(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := w.p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.p.Info.Defs[id]
+}

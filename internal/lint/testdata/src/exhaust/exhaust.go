@@ -1,0 +1,97 @@
+// Package policy is the exhaust fixture: switches over closed enums
+// with missing constants, full coverage, explicit defaults, value
+// aliases, and the annotation grammar checks.
+package policy
+
+// Kind selects a scheduler implementation.
+// silod:enum
+type Kind int
+
+const (
+	KindFIFO Kind = iota
+	KindSJF
+	KindGavel
+)
+
+func name(k Kind) string {
+	switch k { // want `switch over closed enum policy\.Kind misses KindGavel`
+	case KindFIFO:
+		return "fifo"
+	case KindSJF:
+		return "sjf"
+	}
+	return "unknown"
+}
+
+func nameFull(k Kind) string {
+	switch k { // ok: every constant covered
+	case KindFIFO:
+		return "fifo"
+	case KindSJF:
+		return "sjf"
+	case KindGavel:
+		return "gavel"
+	}
+	return "unknown"
+}
+
+func nameDefault(k Kind) string {
+	switch k { // ok: explicit default
+	case KindFIFO:
+		return "fifo"
+	default:
+		return "other"
+	}
+}
+
+func nameDynamic(k, other Kind) string {
+	switch k { // ok: non-constant case, coverage unprovable, skipped
+	case other:
+		return "same"
+	}
+	return "diff"
+}
+
+// Mode is string-backed; coverage is by value, so an alias spelling
+// covers the constant it aliases.
+// silod:enum
+type Mode string
+
+const (
+	ModeA     Mode = "a"
+	ModeB     Mode = "b"
+	ModeAlias Mode = "a"
+)
+
+func modeName(m Mode) string {
+	switch m { // ok: ModeAlias covers ModeA by value
+	case ModeAlias, ModeB:
+		return "known"
+	}
+	return ""
+}
+
+// Empty promises a closed set it never declares.
+// silod:enum
+type Empty int // want `silod:enum type Empty declares no constants`
+
+// Config carries no constants and cannot.
+// silod:enum
+type Config struct{} // want `silod:enum applies to types with a basic underlying type`
+
+// Plain has constants but no annotation: switches over it are not
+// checked.
+type Plain int
+
+const (
+	PlainA Plain = 0
+	PlainB Plain = 1
+)
+
+func plainName(p Plain) string {
+	switch p { // ok: unannotated type
+	case PlainA:
+		return "a"
+	}
+	return ""
+}

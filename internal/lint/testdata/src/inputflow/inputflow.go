@@ -1,0 +1,94 @@
+// Package controlplane is the inputflow fixture: JSON-decoded request
+// fields flowing into the four sink kinds, cross-function flows through
+// parameter summaries, and the two recognized validation idioms.
+package controlplane
+
+import "encoding/json"
+
+const maxItems = 1024
+
+// Req is external input: it decodes straight off the wire.
+// silod:untrusted
+type Req struct {
+	N  int
+	ID string
+}
+
+// handle sizes an allocation off the raw field.
+func handle(data []byte) []int {
+	var req Req
+	_ = json.Unmarshal(data, &req)
+	return make([]int, req.N) // want `untrusted Req\.N flows into allocation size without validation`
+}
+
+// handleVia reaches the same sink two frames down: the engine's
+// parameter summary for alloc carries the sink back to the call site.
+func handleVia(data []byte) []int {
+	var req Req
+	_ = json.Unmarshal(data, &req)
+	return alloc(req.N) // want `untrusted Req\.N flows into allocation size via fixture/internal/controlplane\.alloc`
+}
+
+func alloc(n int) []int {
+	return make([]int, n)
+}
+
+// pick indexes a slice by the raw field.
+func pick(req Req, table []string) string {
+	return table[req.N] // want `untrusted Req\.N flows into slice index`
+}
+
+// spin loops a raw field many times.
+func spin(req Req) int {
+	total := 0
+	for i := 0; i < req.N; i++ { // want `untrusted Req\.N flows into loop bound`
+		total += i
+	}
+	return total
+}
+
+type usage struct {
+	used int
+}
+
+// apply folds a raw field into quota accounting.
+func apply(u *usage, r Req) {
+	u.used += r.N // want `untrusted Req\.N flows into quota arithmetic`
+}
+
+// handleGuarded is the inline-validation idiom: the early-return guard
+// sanitizes the field for the rest of the function.
+func handleGuarded(data []byte) []int {
+	var req Req
+	_ = json.Unmarshal(data, &req)
+	if req.N <= 0 || req.N > maxItems {
+		return nil
+	}
+	return make([]int, req.N) // ok: guarded above
+}
+
+// validate is the factored validation step.
+// silod:validator
+func validate(r *Req) bool {
+	return r.N > 0 && r.N <= maxItems
+}
+
+// handleValidated passes the whole request through the validator, which
+// sanitizes every field below the call.
+func handleValidated(data []byte) []int {
+	var req Req
+	_ = json.Unmarshal(data, &req)
+	if !validate(&req) {
+		return nil
+	}
+	return make([]int, req.N) // ok: validator gate above
+}
+
+// Port is not a struct, so the annotation cannot apply.
+// silod:untrusted
+type Port int // want `silod:untrusted applies to struct types; Port is not a struct`
+
+// lookup is safe: map indexing handles any key.
+func lookup(req Req, m map[string]int) int {
+	return m[req.ID] // ok: map index, not a slice index
+}

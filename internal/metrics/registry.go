@@ -19,6 +19,7 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
+// silod:enum
 type metricType int
 
 const (

@@ -3,6 +3,7 @@ package metrics
 import "sync"
 
 // EventKind classifies a timeline event.
+// silod:enum
 type EventKind string
 
 // The structured per-job event kinds the schedulers and engines emit.

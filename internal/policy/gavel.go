@@ -43,6 +43,7 @@ type Gavel struct {
 }
 
 // GavelObjective enumerates the Gavel scheduling goals implemented here.
+// silod:enum
 type GavelObjective int
 
 // The implemented objectives.

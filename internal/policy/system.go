@@ -8,6 +8,7 @@ import (
 
 // CacheSystem identifies one of the four storage solutions the paper
 // compares (§7, "Baselines").
+// silod:enum
 type CacheSystem int
 
 // The compared cache systems.
@@ -84,6 +85,7 @@ func (cs CacheSystem) Allocator(seed int64) StorageAllocator {
 }
 
 // SchedulerKind identifies the scheduling policies evaluated in §7.
+// silod:enum
 type SchedulerKind int
 
 // The evaluated scheduling policies.

@@ -420,9 +420,11 @@ func (s *batchSim) onFault() {
 			if bj, ok := s.bjobs[ev.Job]; ok {
 				s.crash(bj)
 			}
+		case faults.KindGPURestore, faults.KindIOLoss, faults.KindIORestore:
+			// Capacity-only kinds: restored GPUs are picked up and IO is
+			// re-throttled by the scheduling round below; no pool surgery
+			// and no preemption.
 		}
-		// IO kinds need no pool surgery: the new effective capacity
-		// re-throttles every in-flight fetch via the round below.
 	}
 	if applied {
 		s.reschedule()

@@ -353,6 +353,10 @@ func (s *fluidSim) applyFaults() {
 			// The restarted process replays its epoch from the last
 			// boundary; the cache survives the crash (§6).
 			j.rollbackEpoch()
+		case faults.KindCacheRestore, faults.KindGPURestore, faults.KindIOLoss, faults.KindIORestore:
+			// Capacity-only kinds: restored cache comes back empty (jobs
+			// re-warm it) and GPU/IO changes land when the next round
+			// re-solves against s.eff; no per-job state changes here.
 		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 )
 
 // Engine selects the simulation engine.
+// silod:enum
 type Engine int
 
 // The available engines.
@@ -192,6 +193,7 @@ func (r *Result) AvgFairness() float64 {
 }
 
 // Run executes the simulation for the given trace.
+// silod:sim-root
 func Run(cfg Config, jobs []workload.JobSpec) (*Result, error) {
 	c := cfg.withDefaults()
 	if err := c.Cluster.Validate(); err != nil {

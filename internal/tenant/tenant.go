@@ -20,6 +20,7 @@ import (
 // SLOClass is a tenant's service tier. The zero value is Standard so an
 // untenanted job (empty tenant ID, zero class) behaves exactly like the
 // flat pool did before multi-tenancy existed.
+// silod:enum
 type SLOClass int
 
 // The service tiers, best-protected first at preemption time.

@@ -109,6 +109,12 @@ type jobRun struct {
 // Run executes the trace on the testbed. All jobs must fit the cluster
 // simultaneously (the testbed emulates the §7.1.1 micro-benchmark
 // setting; queueing experiments belong to the simulator).
+//
+// The testbed is the one component that intentionally runs against the
+// real clock: it emulates wall-time execution scaled by TimeScale, so
+// the wall-clock reads below are the audited boundary where real time
+// enters, not a determinism leak.
+// silod:inject wallclock
 func Run(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	if cfg.TimeScale <= 0 {
 		return nil, fmt.Errorf("testbed: non-positive time scale %v", cfg.TimeScale)
@@ -509,6 +515,9 @@ func (b *bed) applyFaults(now unit.Time) {
 			// per wall second), so the effective capacity is scaled the
 			// same way before resizing.
 			b.mgr.ResizeEgress(unit.Bandwidth(float64(b.eff.RemoteIO) * b.cfg.TimeScale))
+		default:
+			// Unreachable: Run rejects GPU and job-crash kinds up front
+			// (the testbed has no preemption model).
 		}
 	}
 }
