@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race chaos tenants verify bench baseline perf clean
+.PHONY: build test vet lint race chaos tenants serve verify bench baseline perf clean
 
 build:
 	$(GO) build ./...
@@ -51,10 +51,20 @@ tenants:
 	$(GO) test -race ./internal/tenant/
 	$(GO) test -race -run 'Tenant' ./internal/policy/ ./internal/sim/ ./internal/controlplane/
 
+# serve runs the online-serving acceptance suite under the race
+# detector: the bounded admission queue and load-generator unit tests,
+# the decoupled round loop + drain + circuit-breaker + retry tests,
+# the heartbeat-revival race, the silodd graceful-SIGTERM regression,
+# and the silodload self-host smoke. See docs/serving.md.
+serve:
+	$(GO) test -race ./internal/admission/ ./internal/loadgen/
+	$(GO) test -race -run 'Serve|Overload|Drain|Breaker|Retry|Admission|Enqueue|HeartbeatRevival' ./internal/controlplane/
+	$(GO) test -race ./cmd/silodd/ ./cmd/silodload/
+
 # verify is the pre-merge gate: compile everything, vet, lint, full
-# suite under the race detector, then the chaos and multi-tenant
-# suites.
-verify: build vet lint race chaos tenants
+# suite under the race detector, then the chaos, multi-tenant, and
+# serving suites.
+verify: build vet lint race chaos tenants serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,27 +4,49 @@
 //
 //	silodd -gpus 96 -cache 24TB -remote 1GB -scheduler Gavel \
 //	       -dm-addr :7070 -sched-addr :7071 -interval 10s \
+//	       -queue 256 -batch 32 \
 //	       -tenants acme:critical,gamma:sheddable:gpus=3:egress=100MB
 //
-// Drive it with silodctl.
+// With -queue N the scheduler runs in online serving mode: submissions
+// land in a bounded, SLO-classed admission queue and the round loop
+// drains them in batches; overload sheds low tiers with 503 +
+// Retry-After instead of wedging the scheduler. SIGTERM drains
+// gracefully — new submissions get a clean 503 while in-flight
+// requests finish, bounded by -drain.
+//
+// Drive it with silodctl; load it with silodload.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/datamgr"
 	"repro/internal/metrics"
 	"repro/internal/policy"
+	"repro/internal/simrng"
 	"repro/internal/tenant"
 	"repro/internal/unit"
+)
+
+// Per-request server timeouts: a stalled or malicious client must not
+// pin a connection (and its handler goroutine) forever.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 30 * time.Second
 )
 
 func main() {
@@ -32,6 +54,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "silodd:", err)
 		os.Exit(1)
 	}
+}
+
+// daemonConfig is everything run parses out of the flags.
+type daemonConfig struct {
+	Cluster   core.Cluster
+	Scheduler policy.SchedulerKind
+	System    policy.CacheSystem
+	Seed      int64
+	DMAddr    string
+	SchedAddr string
+	Interval  time.Duration
+	Drain     time.Duration
+	Queue     admission.Config // Capacity 0 = synchronous submits
+	Batch     int
+	Tenants   *tenant.Registry
+}
+
+// daemon is the running process: two HTTP listeners and (in serving
+// mode) the single scheduler round-loop goroutine.
+type daemon struct {
+	cfg      daemonConfig
+	sched    *controlplane.SchedulerServer
+	dmSrv    *http.Server
+	schedSrv *http.Server
+	dmLn     net.Listener
+	schedLn  net.Listener
+	errc     chan error    // listener exit errors
+	stop     chan struct{} // closes to stop the round loop
+	loopDone chan struct{} // closes when the round loop exits
 }
 
 func run(args []string) error {
@@ -43,7 +94,12 @@ func run(args []string) error {
 	system := fs.String("system", "SiloD", "cache system: SiloD | Alluxio | CoorDL | Quiver")
 	dmAddr := fs.String("dm-addr", ":7070", "data manager listen address")
 	schedAddr := fs.String("sched-addr", ":7071", "scheduler listen address")
-	interval := fs.Duration("interval", 0, "scheduling loop period (0 = on demand via POST /v1/schedule)")
+	interval := fs.Duration("interval", 0, "scheduling loop period (0 = on demand via POST /v1/schedule; forced to 1s in queue mode)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown deadline for in-flight requests")
+	queueCap := fs.Int("queue", 0, "admission queue capacity (0 = synchronous submits)")
+	highWater := fs.Int("high-water", 0, "queue depth where the sheddable tier sheds (0 = capacity/4)")
+	stdWater := fs.Int("std-water", 0, "queue depth where the standard tier sheds (0 = capacity/2)")
+	batch := fs.Int("batch", 0, "queued submissions drained per round (0 = all)")
 	seed := fs.Int64("seed", 42, "seed for stochastic policy elements")
 	tenantsSpec := fs.String("tenants", "",
 		"tenant registry: comma-separated id:class[:gpus=N][:cache=SIZE][:egress=BW] entries, e.g. "+
@@ -72,40 +128,165 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	pol, err := policy.BuildTenant(k, cs, *seed, reg)
+	cfg := daemonConfig{
+		Cluster:   core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: remoteBW},
+		Scheduler: k,
+		System:    cs,
+		Seed:      *seed,
+		DMAddr:    *dmAddr,
+		SchedAddr: *schedAddr,
+		Interval:  *interval,
+		Drain:     *drain,
+		Batch:     *batch,
+		Tenants:   reg,
+	}
+	if *queueCap > 0 {
+		hw, sw := *highWater, *stdWater
+		if hw <= 0 {
+			hw = *queueCap / 4
+		}
+		if sw <= 0 {
+			sw = *queueCap / 2
+		}
+		cfg.Queue = admission.Config{Capacity: *queueCap, HighWater: hw, StandardWater: sw}
+	}
+
+	d, err := newDaemon(cfg)
 	if err != nil {
 		return err
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	return d.wait(sig)
+}
 
-	mgr := datamgr.New(cacheBytes, remoteBW, *seed, nil)
+// newDaemon builds the control plane, binds both listeners, and starts
+// serving. Callers own shutdown (via wait or shutdown).
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	pol, err := policy.BuildTenant(cfg.Scheduler, cfg.System, cfg.Seed, cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	mgr := datamgr.New(cfg.Cluster.Cache, cfg.Cluster.RemoteIO, cfg.Seed, nil)
 	mgr.EnableMetrics(metrics.NewRegistry("datamgr"))
 	dmSrv := controlplane.NewDataManagerServer(mgr)
-	cluster := core.Cluster{GPUs: *gpus, Cache: cacheBytes, RemoteIO: remoteBW}
-	sched, err := controlplane.NewSchedulerServer(cluster, pol, controlplane.LocalDataPlane{Mgr: mgr}, time.Now)
+	sched, err := controlplane.NewSchedulerServer(cfg.Cluster, pol, controlplane.LocalDataPlane{Mgr: mgr}, time.Now)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if reg != nil {
-		sched.ConfigureTenants(reg)
+	if cfg.Tenants != nil {
+		sched.ConfigureTenants(cfg.Tenants)
+	}
+	if cfg.Queue.Capacity > 0 {
+		q, err := admission.New(cfg.Queue, sched.Registry(), simrng.New(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		sched.ConfigureAdmission(q)
+		// Queued submissions only make progress through rounds.
+		if cfg.Interval <= 0 {
+			cfg.Interval = time.Second
+		}
 	}
 
-	errCh := make(chan error, 2)
-	go func() {
-		log.Printf("silodd: data manager listening on %s", *dmAddr)
-		errCh <- http.ListenAndServe(*dmAddr, dmSrv)
-	}()
-	go func() {
-		log.Printf("silodd: scheduler (%s on %s) listening on %s", k, cs, *schedAddr)
-		errCh <- http.ListenAndServe(*schedAddr, sched)
-	}()
-	if *interval > 0 {
-		stop := make(chan struct{})
-		defer close(stop)
-		go sched.RunLoop(*interval, stop, func(err error) {
-			log.Printf("silodd: scheduling round failed: %v", err)
-		})
+	dmLn, err := net.Listen("tcp", cfg.DMAddr)
+	if err != nil {
+		return nil, err
 	}
-	return <-errCh
+	schedLn, err := net.Listen("tcp", cfg.SchedAddr)
+	if err != nil {
+		if cerr := dmLn.Close(); cerr != nil {
+			log.Printf("silodd: closing data-manager listener: %v", cerr)
+		}
+		return nil, err
+	}
+	d := &daemon{
+		cfg:      cfg,
+		sched:    sched,
+		dmSrv:    newServer(dmSrv),
+		schedSrv: newServer(sched),
+		dmLn:     dmLn,
+		schedLn:  schedLn,
+		errc:     make(chan error, 2),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	log.Printf("silodd: data manager listening on %s", dmLn.Addr())
+	log.Printf("silodd: scheduler (%s on %s) listening on %s", cfg.Scheduler, cfg.System, schedLn.Addr())
+	go serveListener(d.dmSrv, dmLn, d.errc)
+	go serveListener(d.schedSrv, schedLn, d.errc)
+	go serveRounds(sched, controlplane.ServeConfig{
+		Interval: cfg.Interval, Batch: cfg.Batch, RoundDeadline: cfg.Interval,
+	}, cfg.Interval, d.stop, d.loopDone)
+	return d, nil
+}
+
+// newServer wraps a handler with the per-request timeouts.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+	}
+}
+
+// serveListener runs one HTTP server until it is shut down; the exit
+// error (http.ErrServerClosed on a clean shutdown) lands in errc.
+func serveListener(srv *http.Server, ln net.Listener, errc chan<- error) {
+	errc <- srv.Serve(ln)
+}
+
+// serveRounds runs the scheduler's round loop until stop closes, then
+// closes done. With no interval (on-demand mode) it only waits for
+// stop, so shutdown has one code path either way.
+func serveRounds(s *controlplane.SchedulerServer, cfg controlplane.ServeConfig,
+	interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	if interval <= 0 {
+		<-stop
+		return
+	}
+	s.Serve(cfg, stop, func(err error) {
+		log.Printf("silodd: scheduling round failed: %v", err)
+	})
+}
+
+// wait blocks until a listener dies (the error is returned) or a
+// shutdown signal arrives (the daemon drains gracefully and wait
+// returns nil).
+func (d *daemon) wait(sig <-chan os.Signal) error {
+	select {
+	case err := <-d.errc:
+		d.shutdown()
+		return err
+	case s := <-sig:
+		log.Printf("silodd: %v: draining (deadline %v)", s, d.cfg.Drain)
+		d.shutdown()
+		return nil
+	}
+}
+
+// shutdown drains the daemon: flip the scheduler to draining (new
+// submissions get a clean 503 + Retry-After), stop the round loop, and
+// gracefully shut both HTTP servers down so in-flight requests finish
+// within the drain deadline. Requests still open past the deadline are
+// cut off.
+func (d *daemon) shutdown() {
+	d.sched.SetDraining(true)
+	close(d.stop)
+	<-d.loopDone
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Drain)
+	defer cancel()
+	for _, srv := range []*http.Server{d.schedSrv, d.dmSrv} {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("silodd: drain deadline passed, closing: %v", err)
+			if cerr := srv.Close(); cerr != nil {
+				log.Printf("silodd: close: %v", cerr)
+			}
+		}
+	}
 }
 
 // parseTenants builds a tenant registry from the -tenants flag. Each

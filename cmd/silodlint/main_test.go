@@ -50,12 +50,15 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/experiments/experiments\.go:\d+:\d+: detclose: simulation root Figure99 transitively reaches a wall-clock read \(time\.Now\)`,
 		`(?m)^internal/controlplane/controlplane\.go:\d+:\d+: inputflow: untrusted Req\.Blocks flows into allocation size`,
 		`(?m)^internal/tenant/slo\.go:\d+:\d+: exhaust: switch over closed enum tenant\.sloClass misses sloSheddable`,
+		`(?m)^internal/admission/admission\.go:\d+:\d+: exhaust: switch over closed enum admission\.queueState misses stateFull`,
+		`(?m)^internal/admission/admission\.go:\d+:\d+: inputflow: untrusted loadSpec\.Burst flows into allocation size`,
+		`(?m)^internal/admission/admission\.go:\d+:\d+: detclose: simulation root ReplayStorm transitively reaches a wall-clock read \(time\.Now\)`,
 	} {
 		if !regexp.MustCompile(re).MatchString(stdout) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "20 finding(s)") {
+	if !strings.Contains(stderr, "23 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -67,6 +70,7 @@ func TestAllowlistSilences(t *testing.T) {
 	allow := filepath.Join(t.TempDir(), "lint.allow")
 	content := "# test exceptions\n" +
 		"* internal/sim/sim.go\n" +
+		"* internal/admission/admission.go\n" +
 		"* internal/cache/cache.go\n" +
 		"* internal/faults/faults.go\n" +
 		"* internal/runner/runner.go\n" +
@@ -100,6 +104,8 @@ func TestAllowInteractionNewAnalyzers(t *testing.T) {
 	allow := filepath.Join(t.TempDir(), "lint.allow")
 	content := "# Figure99 is the seeded determinism leak; kept on purpose\n" +
 		"detclose internal/experiments/experiments.go\n" +
+		"# ReplayStorm is the serving-mode twin of the same leak\n" +
+		"detclose internal/admission/admission.go\n" +
 		"# retired: slo.go gained full switch coverage (rule should be stale)\n" +
 		"inputflow internal/tenant/slo.go\n"
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
@@ -190,8 +196,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 20 {
-		t.Fatalf("got %d JSON lines, want 20:\n%s", len(lines), stdout)
+	if len(lines) != 23 {
+		t.Fatalf("got %d JSON lines, want 23:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -295,7 +301,7 @@ func TestDiffMode(t *testing.T) {
 	dir, _ := gitBadmod(t)
 
 	// No changes since HEAD: nothing to report, even though the module
-	// has 20 findings.
+	// has 23 findings.
 	code, stdout, _ := runLint(t, "-root", dir, "-diff", "HEAD")
 	if code != 0 || stdout != "" {
 		t.Fatalf("clean diff: code = %d, stdout:\n%s", code, stdout)
@@ -323,7 +329,7 @@ func TestDiffMode(t *testing.T) {
 		t.Errorf("diff run reports packages the change cannot affect:\n%s", stdout)
 	}
 
-	// A non-Go change falls back to the full run: all 20 findings.
+	// A non-Go change falls back to the full run: all 23 findings.
 	if err := os.WriteFile(slo, data, 0o644); err != nil { // revert
 		t.Fatal(err)
 	}
@@ -336,7 +342,7 @@ func TestDiffMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	code, _, stderr = runLint(t, "-root", dir, "-diff", "HEAD")
-	if code != 1 || !strings.Contains(stderr, "20 finding(s)") {
+	if code != 1 || !strings.Contains(stderr, "23 finding(s)") {
 		t.Errorf("non-Go diff should run full: code = %d, stderr:\n%s", code, stderr)
 	}
 

@@ -1,0 +1,61 @@
+// Package admission is a deliberately non-conforming fixture shaped
+// like the serving mode's admission queue: a closed queue-state enum
+// with a hole in its switch (exhaust), a wire-decoded load spec sizing
+// a buffer unvalidated (inputflow), and a replay root that reaches the
+// wall clock through a helper frame (detclose). The package sits
+// outside wallclock's path scope, so only the whole-program analyzers
+// see the clock leak.
+package admission
+
+import "time"
+
+// queueState mirrors the real admission queue's shed states.
+// silod:enum
+type queueState int
+
+const (
+	stateOpen queueState = iota
+	stateShedding
+	stateFull
+)
+
+// retryHint breaks exhaust: stateFull is not covered and there is no
+// default, so a saturated queue silently hints the zero value.
+func retryHint(s queueState) int {
+	switch s {
+	case stateOpen:
+		return 0
+	case stateShedding:
+		return 2
+	}
+	return 0
+}
+
+// loadSpec mirrors a load-generator spec: it arrives off the wire.
+// silod:untrusted
+type loadSpec struct {
+	Burst int
+}
+
+// preallocate breaks inputflow: the untrusted burst size backs an
+// allocation before anything bounds it.
+func preallocate(s loadSpec) []int64 {
+	return make([]int64, s.Burst)
+}
+
+// ReplayStorm is the seeded determinism leak: the replay root never
+// reads the clock itself — the leak hides one frame down in the pacing
+// helper, which only the whole-program summary pass can see.
+// silod:sim-root
+func ReplayStorm(spec loadSpec) int {
+	total := 0
+	for range preallocate(spec) {
+		total += pace()
+	}
+	return total + retryHint(stateOpen)
+}
+
+// pace launders the clock access through one more frame.
+func pace() int {
+	return time.Now().Nanosecond()
+}

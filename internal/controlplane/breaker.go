@@ -1,0 +1,230 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+// BreakerState is the circuit breaker's position. The zero value is
+// closed (traffic flows), so an unconfigured breaker is a transparent
+// wrapper.
+// silod:enum
+type BreakerState int
+
+// The breaker states.
+const (
+	// BreakerClosed: calls pass through; consecutive failures are
+	// counted and trip the breaker at the threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast with *BreakerOpenError until the
+	// (jittered) cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is allowed through; success
+	// closes the breaker, failure re-opens it with a fresh cooldown.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerOpenError is the fail-fast rejection an open breaker returns
+// without touching the data plane. Schedule rounds treat it like any
+// push error — counted, surfaced, never blocking — which is the point:
+// a slow or dead data manager costs one failed call per round, not one
+// hung round per call.
+type BreakerOpenError struct {
+	State      BreakerState
+	RetryAfter time.Duration // time until the next half-open probe (0 when probing)
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("controlplane: data-plane circuit breaker %s (next probe in %v)",
+		e.State, e.RetryAfter)
+}
+
+// breakerMetrics are the breaker's instrumentation handles (nil-safe).
+type breakerMetrics struct {
+	state         *metrics.Gauge   // silod_breaker_state (0 closed, 1 open, 2 half-open)
+	trips         *metrics.Counter // silod_breaker_trips_total
+	probes        *metrics.Counter // silod_breaker_probes_total
+	shortCircuits *metrics.Counter // silod_breaker_short_circuits_total
+}
+
+// Breaker wraps a DataPlane with a circuit breaker: after Threshold
+// consecutive failures it opens and fails fast; after a seeded-jitter
+// cooldown it half-opens and lets one probe through. The clock is
+// injected (this package is virtual-time; see NewSchedulerServer).
+type Breaker struct {
+	dp        DataPlane
+	threshold int
+	cooldown  time.Duration
+	clock     func() time.Time // injected; never the package-level time.Now
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	failures int          // guarded by mu (consecutive)
+	until    time.Time    // guarded by mu (open until; probe time)
+	probing  bool         // guarded by mu (a half-open probe is in flight)
+	rng      *simrng.RNG  // guarded by mu (cooldown jitter)
+
+	met breakerMetrics
+}
+
+// NewBreaker wraps dp. threshold is the consecutive-failure count that
+// trips the breaker (minimum 1); cooldown is the base open interval
+// before a half-open probe, jittered ±25% from rng so multiple
+// breakers do not probe in lockstep (nil rng uses a fixed seed).
+func NewBreaker(dp DataPlane, threshold int, cooldown time.Duration, clock func() time.Time, rng *simrng.RNG) (*Breaker, error) {
+	if dp == nil {
+		return nil, fmt.Errorf("controlplane: breaker needs a data plane")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("controlplane: breaker needs a clock (pass time.Now at the daemon edge)")
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 3 * time.Second
+	}
+	if rng == nil {
+		rng = simrng.New(1)
+	}
+	return &Breaker{dp: dp, threshold: threshold, cooldown: cooldown, clock: clock, rng: rng}, nil
+}
+
+// EnableMetrics interns the breaker's series into reg. Call once at
+// wiring time (the scheduler's registry is the natural home).
+func (b *Breaker) EnableMetrics(reg *metrics.Registry) {
+	b.met = breakerMetrics{
+		state:         reg.Gauge("silod_breaker_state"),
+		trips:         reg.Counter("silod_breaker_trips_total"),
+		probes:        reg.Counter("silod_breaker_probes_total"),
+		shortCircuits: reg.Counter("silod_breaker_short_circuits_total"),
+	}
+}
+
+// State reports the breaker's current position (refreshing open →
+// half-open if the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.clock().Before(b.until) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// before gates one call. A nil return means the call may proceed.
+func (b *Breaker) before() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if now.Before(b.until) {
+			b.met.shortCircuits.Inc()
+			return &BreakerOpenError{State: BreakerOpen, RetryAfter: b.until.Sub(now)}
+		}
+		// Cooldown elapsed: half-open, and this caller is the probe.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.met.probes.Inc()
+		b.met.state.Set(float64(BreakerHalfOpen))
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			b.met.shortCircuits.Inc()
+			return &BreakerOpenError{State: BreakerHalfOpen}
+		}
+		b.probing = true
+		b.met.probes.Inc()
+		return nil
+	default:
+		return nil
+	}
+}
+
+// after records one call's outcome.
+func (b *Breaker) after(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.met.state.Set(float64(BreakerClosed))
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.tripLocked()
+	}
+}
+
+// tripLocked opens the breaker with a jittered cooldown. Callers hold
+// b.mu.
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	d := float64(b.cooldown)
+	d += d * 0.25 * (2*b.rng.Float64() - 1)
+	b.until = b.clock().Add(time.Duration(d))
+	b.met.trips.Inc()
+	b.met.state.Set(float64(BreakerOpen))
+}
+
+// call wraps one data-plane operation with the breaker gate.
+func (b *Breaker) call(op func() error) error {
+	if err := b.before(); err != nil {
+		return err
+	}
+	err := op()
+	b.after(err)
+	return err
+}
+
+// RegisterDataset implements DataPlane.
+func (b *Breaker) RegisterDataset(name string, size, blockSize unit.Bytes) error {
+	return b.call(func() error { return b.dp.RegisterDataset(name, size, blockSize) })
+}
+
+// AttachJob implements DataPlane.
+func (b *Breaker) AttachJob(jobID, dataset string) error {
+	return b.call(func() error { return b.dp.AttachJob(jobID, dataset) })
+}
+
+// DetachJob implements DataPlane.
+func (b *Breaker) DetachJob(jobID string) error {
+	return b.call(func() error { return b.dp.DetachJob(jobID) })
+}
+
+// AllocateCacheSize implements DataPlane (Table 3).
+func (b *Breaker) AllocateCacheSize(dataset string, size unit.Bytes) error {
+	return b.call(func() error { return b.dp.AllocateCacheSize(dataset, size) })
+}
+
+// AllocateRemoteIO implements DataPlane (Table 3).
+func (b *Breaker) AllocateRemoteIO(jobID string, speed unit.Bandwidth) error {
+	return b.call(func() error { return b.dp.AllocateRemoteIO(jobID, speed) })
+}
+
+var _ DataPlane = (*Breaker)(nil)

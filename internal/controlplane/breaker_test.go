@@ -1,0 +1,221 @@
+package controlplane
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simrng"
+	"repro/internal/unit"
+)
+
+// flakyPlane is a DataPlane whose calls fail while down. Single
+// goroutine only — breaker tests drive it sequentially.
+type flakyPlane struct {
+	down  bool
+	calls int
+}
+
+func (f *flakyPlane) op() error {
+	f.calls++
+	if f.down {
+		return errors.New("flaky: data plane down")
+	}
+	return nil
+}
+
+func (f *flakyPlane) RegisterDataset(string, unit.Bytes, unit.Bytes) error { return f.op() }
+func (f *flakyPlane) AttachJob(string, string) error                       { return f.op() }
+func (f *flakyPlane) DetachJob(string) error                               { return f.op() }
+func (f *flakyPlane) AllocateCacheSize(string, unit.Bytes) error           { return f.op() }
+func (f *flakyPlane) AllocateRemoteIO(string, unit.Bandwidth) error        { return f.op() }
+
+// vclock is a hand-advanced clock for breaker tests.
+type vclock struct{ t time.Time }
+
+func (v *vclock) now() time.Time          { return v.t }
+func (v *vclock) advance(d time.Duration) { v.t = v.t.Add(d) }
+func newVClock() *vclock                  { return &vclock{t: time.Unix(0, 0)} }
+
+func mustBreaker(t *testing.T, dp DataPlane, threshold int, cooldown time.Duration, clock func() time.Time, seed int64) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(dp, threshold, cooldown, clock, simrng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBreakerValidation(t *testing.T) {
+	vc := newVClock()
+	if _, err := NewBreaker(nil, 3, time.Second, vc.now, nil); err == nil {
+		t.Error("nil data plane accepted")
+	}
+	if _, err := NewBreaker(&flakyPlane{}, 3, time.Second, nil, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	vc := newVClock()
+	fp := &flakyPlane{down: true}
+	b := mustBreaker(t, fp, 3, time.Second, vc.now, 1)
+
+	// First threshold-1 failures pass through and keep the breaker closed.
+	for i := 0; i < 2; i++ {
+		if err := b.DetachJob("j"); err == nil {
+			t.Fatal("down plane returned nil")
+		}
+		if b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures (threshold 3)", i+1)
+		}
+	}
+	// Third consecutive failure trips it.
+	if err := b.DetachJob("j"); err == nil {
+		t.Fatal("down plane returned nil")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	// Open breaker fails fast: typed error, no call reaches the plane.
+	calls := fp.calls
+	err := b.AttachJob("j", "ds")
+	var oe *BreakerOpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("open breaker error = %v, want *BreakerOpenError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Errorf("open breaker carries no RetryAfter hint: %+v", oe)
+	}
+	if fp.calls != calls {
+		t.Errorf("open breaker let a call through (%d -> %d)", calls, fp.calls)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	vc := newVClock()
+	fp := &flakyPlane{}
+	b := mustBreaker(t, fp, 2, time.Second, vc.now, 1)
+	// fail, success, fail: never two consecutive, never trips.
+	fp.down = true
+	_ = b.DetachJob("j")
+	fp.down = false
+	if err := b.DetachJob("j"); err != nil {
+		t.Fatal(err)
+	}
+	fp.down = true
+	_ = b.DetachJob("j")
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	vc := newVClock()
+	fp := &flakyPlane{down: true}
+	b := mustBreaker(t, fp, 1, time.Second, vc.now, 7)
+	if err := b.DetachJob("j"); err == nil {
+		t.Fatal("down plane returned nil")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Past the jitter envelope (±25%) the breaker half-opens.
+	vc.advance(1250*time.Millisecond + time.Nanosecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	// The probe reaches the (still down) plane and re-opens the breaker.
+	calls := fp.calls
+	if err := b.DetachJob("j"); err == nil {
+		t.Fatal("probe against down plane returned nil")
+	}
+	if fp.calls != calls+1 {
+		t.Fatalf("probe did not reach the plane (%d -> %d)", calls, fp.calls)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// Next cooldown; the plane recovers; the probe closes the breaker.
+	fp.down = false
+	vc.advance(1250*time.Millisecond + time.Nanosecond)
+	if err := b.DetachJob("j"); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if err := b.AllocateCacheSize("ds", unit.GiB(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	vc := newVClock()
+	fp := &flakyPlane{down: true}
+	b := mustBreaker(t, fp, 1, time.Second, vc.now, 1)
+	_ = b.DetachJob("j")
+	vc.advance(2 * time.Second)
+	// First gate claims the probe slot; a second concurrent caller is
+	// rejected without touching the plane.
+	if err := b.before(); err != nil {
+		t.Fatalf("probe gate rejected the first caller: %v", err)
+	}
+	err := b.before()
+	var oe *BreakerOpenError
+	if !errors.As(err, &oe) || oe.State != BreakerHalfOpen {
+		t.Fatalf("second caller during probe got %v, want half-open *BreakerOpenError", err)
+	}
+	// The probe completing (successfully) closes the breaker.
+	b.after(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerCooldownJitterSeededAndBounded(t *testing.T) {
+	until := func(seed int64) time.Duration {
+		vc := newVClock()
+		fp := &flakyPlane{down: true}
+		b := mustBreaker(t, fp, 1, time.Second, vc.now, seed)
+		_ = b.DetachJob("j")
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.until.Sub(vc.t)
+	}
+	if a, b := until(42), until(42); a != b {
+		t.Errorf("same seed, different cooldowns: %v != %v", a, b)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		d := until(seed)
+		if d < 750*time.Millisecond || d > 1250*time.Millisecond {
+			t.Errorf("seed %d cooldown %v outside ±25%% of 1s", seed, d)
+		}
+	}
+}
+
+func TestBreakerMetrics(t *testing.T) {
+	vc := newVClock()
+	fp := &flakyPlane{down: true}
+	b := mustBreaker(t, fp, 1, time.Second, vc.now, 1)
+	reg := metrics.NewRegistry("breaker")
+	b.EnableMetrics(reg)
+	_ = b.DetachJob("j") // trip
+	_ = b.DetachJob("j") // short-circuit
+	vc.advance(2 * time.Second)
+	_ = b.DetachJob("j") // failed probe, trips again
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"silod_breaker_trips_total":          2,
+		"silod_breaker_short_circuits_total": 1,
+		"silod_breaker_probes_total":         1,
+	} {
+		if got := snap.CounterValue(name, nil); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if v, ok := snap.Get("silod_breaker_state", nil); !ok || *v.Value != float64(BreakerOpen) {
+		t.Errorf("state gauge = %+v, want open", v)
+	}
+}

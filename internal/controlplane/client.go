@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,6 +25,9 @@ const (
 	defaultBackoff        = 50 * time.Millisecond
 	maxBackoff            = 2 * time.Second
 	defaultAttemptTimeout = 5 * time.Second
+	// maxRetryAfter caps how long a server Retry-After hint can hold the
+	// client off: a buggy or hostile hint must not park a round forever.
+	maxRetryAfter = 30 * time.Second
 )
 
 // Client talks to a DataManagerServer or SchedulerServer over HTTP. It
@@ -82,10 +86,12 @@ func (c *Client) SetAttemptTimeout(d time.Duration) {
 }
 
 // doJSON posts (or GETs, for nil body) and decodes the response into
-// out when non-nil, retrying transient failures — transport errors and
-// 5xx responses — with capped exponential backoff and jitter. The
-// request body is rebuilt per attempt. Non-2xx, non-5xx responses
-// decode the server's error and fail immediately.
+// out when non-nil, retrying transient failures — transport errors,
+// 5xx responses, and 429s that carry a Retry-After hint — with capped
+// exponential backoff and jitter; a server Retry-After hint (503 under
+// overload, 429 with a hint) replaces the exponential base. The
+// request body is rebuilt per attempt. Other non-2xx responses decode
+// the server's error and fail immediately.
 func (c *Client) doJSON(method, path string, in, out any) error {
 	var buf []byte
 	if in != nil {
@@ -96,22 +102,18 @@ func (c *Client) doJSON(method, path string, in, out any) error {
 		}
 	}
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt < c.attempts; attempt++ {
-		if attempt > 0 && c.backoff > 0 {
-			d := c.backoff << (attempt - 1)
-			if d > maxBackoff {
-				d = maxBackoff
+		if attempt > 0 {
+			if d := c.retryDelay(attempt, hint); d > 0 {
+				<-time.After(d)
 			}
-			c.mu.Lock()
-			jitter := time.Duration(c.rng.Float64() * float64(d) / 2)
-			c.mu.Unlock()
-			<-time.After(d + jitter)
 		}
-		retryable, err := c.attemptJSON(method, path, buf, out)
+		retryable, retryAfter, err := c.attemptJSON(method, path, buf, out)
 		if err == nil {
 			return nil
 		}
-		lastErr = err
+		lastErr, hint = err, retryAfter
 		if !retryable {
 			return err
 		}
@@ -120,31 +122,86 @@ func (c *Client) doJSON(method, path string, in, out any) error {
 		method, path, c.attempts, lastErr)
 }
 
+// retryDelay computes the pause before retry `attempt` (1-based): the
+// capped exponential base, or the server's Retry-After hint when one
+// was sent (itself capped at maxRetryAfter so a bad hint cannot park
+// the client), plus up to 50% seeded jitter either way so synchronized
+// clients decorrelate their retry storm.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	d := c.backoff
+	if d > 0 && attempt > 1 {
+		// Shifts past the cap would overflow for large attempt counts.
+		if attempt > 8 {
+			d = maxBackoff
+		} else {
+			d <<= attempt - 1
+		}
+	}
+	if d > maxBackoff || d < 0 {
+		d = maxBackoff
+	}
+	if hint > 0 {
+		if hint > maxRetryAfter {
+			hint = maxRetryAfter
+		}
+		d = hint
+	}
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Float64() * float64(d) / 2)
+	c.mu.Unlock()
+	return d + jitter
+}
+
+// parseRetryAfter reads a Retry-After header in its delta-seconds form
+// (the only form this control plane emits). ok distinguishes "retry
+// immediately" (a valid "0") from "no hint at all" — the difference
+// decides whether a 429 is retryable.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
 // attemptJSON issues one attempt; the bool reports whether the failure
-// is worth retrying.
-func (c *Client) attemptJSON(method, path string, body []byte, out any) (bool, error) {
+// is worth retrying and the duration carries the server's Retry-After
+// hint (0 when absent).
+func (c *Client) attemptJSON(method, path string, body []byte, out any) (bool, time.Duration, error) {
 	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return true, err // transport failure (refused, reset, timeout)
+		return true, 0, err // transport failure (refused, reset, timeout)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		retryable := resp.StatusCode >= 500
+		retryAfter, hinted := parseRetryAfter(resp.Header.Get("Retry-After"))
+		// 5xx is always worth retrying (503 backpressure especially); a
+		// 429 only when the server said when to come back — a quota
+		// rejection without a hint stays terminal so retried submits
+		// don't hammer an over-quota tenant's budget.
+		retryable := resp.StatusCode >= 500 ||
+			(resp.StatusCode == http.StatusTooManyRequests && hinted)
 		var er ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return retryable, fmt.Errorf("controlplane: %s %s: %s", method, path, er.Error)
+			return retryable, retryAfter, fmt.Errorf("controlplane: %s %s: %s", method, path, er.Error)
 		}
-		return retryable, fmt.Errorf("controlplane: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryable, retryAfter, fmt.Errorf("controlplane: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out != nil {
-		return false, json.NewDecoder(resp.Body).Decode(out)
+		return false, 0, json.NewDecoder(resp.Body).Decode(out)
 	}
-	return false, nil
+	return false, 0, nil
 }
 
 // newRequestID mints a client-unique idempotency token for a submit.

@@ -23,6 +23,12 @@ type schedMetrics struct {
 	nodesLive      *metrics.Gauge   // silod_sched_nodes_live
 	effGPUs        *metrics.Gauge   // silod_sched_effective_gpus
 	effCache       *metrics.Gauge   // silod_sched_effective_cache_bytes
+	// Serving-round watchdog (serve.go).
+	roundSeconds      *metrics.Histogram // silod_sched_round_seconds
+	lastRoundSeconds  *metrics.Gauge     // silod_sched_last_round_seconds
+	roundOverruns     *metrics.Counter   // silod_sched_round_overruns_total
+	asyncSubmitErrors *metrics.Counter   // silod_sched_async_submit_errors_total
+	draining          *metrics.Gauge     // silod_sched_draining
 }
 
 func newSchedMetrics(r *metrics.Registry) schedMetrics {
@@ -40,6 +46,13 @@ func newSchedMetrics(r *metrics.Registry) schedMetrics {
 		nodesLive:      r.Gauge("silod_sched_nodes_live"),
 		effGPUs:        r.Gauge("silod_sched_effective_gpus"),
 		effCache:       r.Gauge("silod_sched_effective_cache_bytes"),
+		// 1ms .. ~8s: a round that blows past the top bucket is a wedged
+		// data plane, which the breaker should have fail-fasted.
+		roundSeconds:      r.Histogram("silod_sched_round_seconds", metrics.ExpBuckets(0.001, 2, 14)),
+		lastRoundSeconds:  r.Gauge("silod_sched_last_round_seconds"),
+		roundOverruns:     r.Counter("silod_sched_round_overruns_total"),
+		asyncSubmitErrors: r.Counter("silod_sched_async_submit_errors_total"),
+		draining:          r.Gauge("silod_sched_draining"),
 	}
 }
 

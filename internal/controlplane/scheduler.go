@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/metrics"
@@ -35,6 +37,7 @@ type schedJob struct {
 	attained  unit.Bytes       // guarded by SchedulerServer.mu
 	effective unit.Bytes       // guarded by SchedulerServer.mu
 	cached    unit.Bytes       // guarded by SchedulerServer.mu
+	attached  bool             // guarded by SchedulerServer.mu (data plane knows the job)
 	running   bool             // guarded by SchedulerServer.mu
 	done      bool             // guarded by SchedulerServer.mu
 	gpus      int              // guarded by SchedulerServer.mu
@@ -82,6 +85,10 @@ type SchedulerServer struct {
 	// deployment; ConfigureTenants sets both before serving starts.
 	tenants   *tenant.Registry
 	admission *tenant.Admission
+	// queue is nil in synchronous-submit mode; ConfigureAdmission sets
+	// it to switch POST /v1/jobs to bounded enqueue-or-shed (serve.go).
+	queue    *admission.Queue // guarded by mu
+	draining bool             // guarded by mu (SIGTERM drain: new submits get 503)
 }
 
 // NewSchedulerServer builds a scheduler for the cluster driving dp with
@@ -187,10 +194,42 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 	}
 	s.mu.Unlock()
 	s.met.submitted.Inc()
+	// The job is in the table but not yet attached: rounds and revival
+	// re-pushes skip it until the data plane knows it, so a concurrent
+	// scheduler cannot push allocations for a job mid-attach.
 	if err := s.dp.RegisterDataset(req.Dataset, req.DatasetSize, 0); err != nil {
+		s.rollbackSubmit(req)
 		return err
 	}
-	return s.dp.AttachJob(req.JobID, req.Dataset)
+	if err := s.dp.AttachJob(req.JobID, req.Dataset); err != nil {
+		s.rollbackSubmit(req)
+		return err
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[req.JobID]; ok {
+		j.attached = true
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// rollbackSubmit undoes a submit whose data-plane wiring failed: the
+// job record, its idempotency token, and its quota charge all come
+// back out, so the client's retry starts from a clean slate instead of
+// hitting a duplicate-job error on a half-created zombie.
+func (s *SchedulerServer) rollbackSubmit(req SubmitJobRequest) {
+	if err := req.Validate(); err != nil {
+		return // Submit validates before creating anything to roll back
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, req.JobID)
+	if req.RequestID != "" {
+		delete(s.requests, req.RequestID)
+	}
+	if s.admission != nil {
+		s.admission.Release(req.JobID)
+	}
 }
 
 // Progress records a job's progress report. Reports are validated
@@ -370,7 +409,7 @@ func (s *SchedulerServer) allocationsLocked() (map[string]unit.Bytes, map[string
 	quotas := make(map[string]unit.Bytes)
 	remote := make(map[string]unit.Bandwidth)
 	for id, j := range s.jobs {
-		if j.done {
+		if j.done || !j.attached {
 			continue
 		}
 		quotas[j.req.Dataset] = j.quota
@@ -398,11 +437,25 @@ func (s *SchedulerServer) updateNodeGaugesLocked() {
 // pushes the result to the data plane. Jobs running on capacity that
 // died since the last round lose their GPUs and rejoin the queue.
 func (s *SchedulerServer) Schedule() error {
+	return s.ScheduleCtx(context.Background())
+}
+
+// ScheduleCtx is Schedule with context propagation through the
+// critical section: the round checks ctx before taking the lock,
+// before the policy solve, and between the push phases, so a round
+// whose deadline passed releases the scheduler instead of finishing a
+// doomed push sequence against a dead data plane.
+func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("controlplane: schedule round: %w", err)
+	}
 	s.mu.Lock()
 	views := make([]core.JobView, 0, len(s.jobs))
 	byID := make(map[string]*schedJob, len(s.jobs))
 	for id, j := range s.jobs {
-		if j.done {
+		// Unattached jobs (mid-Submit) are invisible to the round: the
+		// data plane cannot accept allocations for them yet.
+		if j.done || !j.attached {
 			continue
 		}
 		rem := j.req.TotalBytes - j.attained
@@ -456,6 +509,10 @@ func (s *SchedulerServer) Schedule() error {
 		s.met.queueDepth.Set(float64(queued))
 		s.mu.Unlock()
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("controlplane: schedule round: %w", err)
 	}
 	now := unit.Time(wall.Sub(s.epoch).Seconds())
 	a := s.policy.Assign(eff, now, views)
@@ -526,6 +583,9 @@ func (s *SchedulerServer) Schedule() error {
 	if err := push(false); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("controlplane: schedule round: %w", err)
+	}
 	return push(true)
 }
 
@@ -588,23 +648,10 @@ func (s *SchedulerServer) Jobs() []JobStatus {
 }
 
 // RunLoop schedules every interval until stop closes — the daemon's
-// background loop.
+// background loop. It is Serve with defaults: full drains, no round
+// deadline, a real ticker.
 func (s *SchedulerServer) RunLoop(interval time.Duration, stop <-chan struct{}, onErr func(error)) {
-	if interval <= 0 {
-		interval = time.Second
-	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-			if err := s.Schedule(); err != nil && onErr != nil {
-				onErr(err)
-			}
-		}
-	}
+	s.Serve(ServeConfig{Interval: interval}, stop, onErr)
 }
 
 func (s *SchedulerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -613,11 +660,20 @@ func (s *SchedulerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.isDraining() {
+		writeOverload(w, time.Second, fmt.Errorf(
+			"controlplane: scheduler is draining for shutdown"))
+		return
+	}
+	if s.enqueueSubmit(w, req) {
+		return
+	}
 	if err := s.Submit(req); err != nil {
 		// A quota rejection is a well-formed request the tenant may
-		// retry once capacity frees up: 429, not 400. The HTTP client
-		// treats non-5xx as terminal, so retried submits don't hammer
-		// an over-quota tenant's budget.
+		// retry once capacity frees up: 429, not 400. No Retry-After is
+		// attached, and the HTTP client treats hint-less 429s as
+		// terminal, so retried submits don't hammer an over-quota
+		// tenant's budget.
 		var oq *tenant.OverQuotaError
 		if errors.As(err, &oq) {
 			writeError(w, http.StatusTooManyRequests, err)

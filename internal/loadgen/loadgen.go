@@ -1,0 +1,176 @@
+// Package loadgen generates seeded, bursty submission workloads for
+// the control plane's online serving mode and aggregates the outcome
+// statistics the overload suite asserts on (shed fractions per SLO
+// tier, latency quantiles). Arrival plans are pure functions of the
+// Spec — same seed, same plan, byte for byte — so both the chaos
+// acceptance test and cmd/silodload replay identical storms.
+//
+// The package deliberately does not import internal/controlplane:
+// arrivals carry plain job parameters and the caller maps them onto
+// its submit path, which lets the controlplane package itself drive a
+// generator in its tests without an import cycle.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/simrng"
+	"repro/internal/tenant"
+	"repro/internal/unit"
+)
+
+// Spec parameterizes one workload. Specs arrive from CLI flags and
+// JSON files, so the fields are untrusted until Validate has run.
+// silod:untrusted
+type Spec struct {
+	// Seed roots every stream the generator draws from.
+	Seed int64 `json:"seed"`
+	// Jobs is the number of arrivals to plan.
+	Jobs int `json:"jobs"`
+	// MeanIAT is the mean interarrival time.
+	MeanIAT time.Duration `json:"mean_iat"`
+	// CV is the interarrival coefficient of variation: 1 is Poisson,
+	// >1 is burstier (gamma-distributed gaps).
+	CV float64 `json:"cv"`
+	// Datasets is the number of distinct datasets arrivals share,
+	// picked Zipf(1.1) so a few datasets are hot, as in the paper's
+	// production traces.
+	Datasets int `json:"datasets"`
+	// MinDataset and MaxDataset bound the (log-normal) dataset sizes.
+	MinDataset unit.Bytes `json:"min_dataset"`
+	MaxDataset unit.Bytes `json:"max_dataset"`
+	// MaxGPUs bounds each job's gang size (uniform in [1, MaxGPUs]).
+	MaxGPUs int `json:"max_gpus"`
+	// CritWeight, StdWeight and ShedWeight set the SLO-tier mix.
+	CritWeight float64 `json:"crit_weight"`
+	StdWeight  float64 `json:"std_weight"`
+	ShedWeight float64 `json:"shed_weight"`
+}
+
+// Validate bounds every field before it can reach a loop bound or an
+// allocation size. It is the Spec's sanitizer in the inputflow sense.
+// silod:validator
+func (s Spec) Validate() error {
+	if s.Jobs <= 0 || s.Jobs > 1_000_000 {
+		return fmt.Errorf("loadgen: jobs must be in [1, 1e6] (got %d)", s.Jobs)
+	}
+	if s.MeanIAT <= 0 {
+		return fmt.Errorf("loadgen: mean interarrival must be positive (got %v)", s.MeanIAT)
+	}
+	if s.CV <= 0 || s.CV > 16 {
+		return fmt.Errorf("loadgen: cv must be in (0, 16] (got %v)", s.CV)
+	}
+	if s.Datasets <= 0 || s.Datasets > 10_000 {
+		return fmt.Errorf("loadgen: datasets must be in [1, 1e4] (got %d)", s.Datasets)
+	}
+	if s.MinDataset <= 0 || s.MaxDataset < s.MinDataset {
+		return fmt.Errorf("loadgen: dataset sizes must satisfy 0 < min (%v) <= max (%v)",
+			s.MinDataset, s.MaxDataset)
+	}
+	if s.MaxGPUs <= 0 || s.MaxGPUs > 4096 {
+		return fmt.Errorf("loadgen: max gpus must be in [1, 4096] (got %d)", s.MaxGPUs)
+	}
+	if s.CritWeight < 0 || s.StdWeight < 0 || s.ShedWeight < 0 ||
+		s.CritWeight+s.StdWeight+s.ShedWeight <= 0 {
+		return fmt.Errorf("loadgen: tier weights must be non-negative and sum positive (got %v/%v/%v)",
+			s.CritWeight, s.StdWeight, s.ShedWeight)
+	}
+	return nil
+}
+
+// Arrival is one planned submission: when it arrives and what it asks
+// for. The caller maps it onto its submit request type.
+type Arrival struct {
+	At              time.Duration // offset from the plan's start
+	JobID           string
+	Dataset         string
+	DatasetSize     unit.Bytes
+	NumGPUs         int
+	TotalBytes      unit.Bytes
+	IdealThroughput unit.Bandwidth
+	Tenant          string
+	SLO             tenant.SLOClass
+}
+
+// TenantID is the conventional tenant name for a tier — the same IDs
+// Tenants() registers, so plans and registries always agree.
+func TenantID(c tenant.SLOClass) string {
+	switch c {
+	case tenant.Critical:
+		return "tenant-critical"
+	case tenant.Sheddable:
+		return "tenant-sheddable"
+	case tenant.Standard:
+		return "tenant-standard"
+	default:
+		return "tenant-standard"
+	}
+}
+
+// Tenants returns one unlimited-quota tenant per SLO class, for
+// registering with the scheduler before replaying a plan.
+func Tenants() []tenant.Tenant {
+	out := make([]tenant.Tenant, 0, len(tenant.Classes()))
+	for _, c := range tenant.Classes() {
+		out = append(out, tenant.Tenant{ID: TenantID(c), Class: c})
+	}
+	return out
+}
+
+// Plan expands a Spec into its deterministic arrival sequence. Each
+// stochastic dimension draws from its own split stream, so changing
+// e.g. the tier mix does not perturb the arrival times.
+func Plan(spec Spec) ([]Arrival, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := simrng.New(spec.Seed)
+	iat := root.Split("iat")
+	tiers := root.Split("tiers")
+	sizes := root.Split("sizes")
+	gpus := root.Split("gpus")
+	shape := root.Split("shape")
+	zipf := simrng.NewZipf(root.Split("datasets"), spec.Datasets, 1.1)
+
+	// Dataset sizes are fixed per dataset, not per arrival: two jobs
+	// sharing ds-003 must agree on its size.
+	dsSize := make([]unit.Bytes, spec.Datasets)
+	mid := float64(spec.MinDataset+spec.MaxDataset) / 2
+	for i := range dsSize {
+		dsSize[i] = unit.Bytes(sizes.BoundedLogNormal(
+			math.Log(mid), 0.5, float64(spec.MinDataset), float64(spec.MaxDataset)))
+	}
+
+	weights := []float64{0, 0, 0}
+	weights[tenant.Critical.Rank()] = spec.CritWeight
+	weights[tenant.Standard.Rank()] = spec.StdWeight
+	weights[tenant.Sheddable.Rank()] = spec.ShedWeight
+	byRank := []tenant.SLOClass{0, 0, 0}
+	for _, c := range tenant.Classes() {
+		byRank[c.Rank()] = c
+	}
+
+	out := make([]Arrival, 0, spec.Jobs)
+	var at time.Duration
+	for i := 0; i < spec.Jobs; i++ {
+		at += time.Duration(iat.GammaInterarrival(float64(spec.MeanIAT), spec.CV))
+		ds := zipf.Next()
+		slo := byRank[tiers.WeightedChoice(weights)]
+		size := dsSize[ds]
+		epochs := 2 + shape.Intn(4)
+		out = append(out, Arrival{
+			At:              at,
+			JobID:           fmt.Sprintf("job-%06d", i),
+			Dataset:         fmt.Sprintf("ds-%04d", ds),
+			DatasetSize:     size,
+			NumGPUs:         1 + gpus.Intn(spec.MaxGPUs),
+			TotalBytes:      size * unit.Bytes(epochs),
+			IdealThroughput: unit.MBpsOf(shape.Uniform(50, 200)),
+			Tenant:          TenantID(slo),
+			SLO:             slo,
+		})
+	}
+	return out, nil
+}

@@ -77,6 +77,54 @@ func (g *RNG) Exponential(mean float64) float64 {
 	return g.r.ExpFloat64() * mean
 }
 
+// Gamma returns a gamma-distributed value with the given shape and
+// scale (mean shape*scale), via Marsaglia–Tsang squeeze sampling. For
+// shape < 1 it uses the boost Gamma(k) = Gamma(k+1)·U^(1/k). Gamma
+// interarrivals parameterized by a coefficient of variation are how
+// the load generator shapes bursty arrival processes: CV 1 is Poisson,
+// CV > 1 is burstier. It panics if shape or scale is non-positive.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("simrng: non-positive gamma shape %v or scale %v", shape, scale))
+	}
+	if shape < 1 {
+		// Boost: draw at shape+1, then scale down by U^(1/shape).
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// GammaInterarrival returns one interarrival time for a renewal
+// process with the given mean interval and coefficient of variation:
+// shape 1/cv², scale mean·cv², so the draw has the requested mean and
+// CV. It panics if mean or cv is non-positive.
+func (g *RNG) GammaInterarrival(mean, cv float64) float64 {
+	if mean <= 0 || cv <= 0 {
+		panic(fmt.Sprintf("simrng: non-positive interarrival mean %v or cv %v", mean, cv))
+	}
+	return g.Gamma(1/(cv*cv), mean*cv*cv)
+}
+
 // LogNormal returns a log-normally distributed value where the underlying
 // normal has mean mu and standard deviation sigma.
 func (g *RNG) LogNormal(mu, sigma float64) float64 {

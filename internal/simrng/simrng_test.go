@@ -165,3 +165,57 @@ func TestShuffleAndPermAreCompletePermutations(t *testing.T) {
 		t.Error("perm is not a permutation")
 	}
 }
+
+func TestGammaMomentsAndDeterminism(t *testing.T) {
+	// Mean and CV of gamma draws must track the parameterization: the
+	// load generator's burstiness knob is exactly this CV.
+	for _, cv := range []float64{0.5, 1.0, 2.0} {
+		g := New(7)
+		const n = 20000
+		mean := 0.5 // seconds between arrivals
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := g.GammaInterarrival(mean, cv)
+			if x < 0 {
+				t.Fatalf("cv %v: negative interarrival %v", cv, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		gotMean := sum / n
+		gotVar := sumSq/n - gotMean*gotMean
+		gotCV := math.Sqrt(gotVar) / gotMean
+		if gotMean < 0.9*mean || gotMean > 1.1*mean {
+			t.Errorf("cv %v: mean = %v, want ~%v", cv, gotMean, mean)
+		}
+		if gotCV < 0.9*cv || gotCV > 1.1*cv {
+			t.Errorf("cv %v: measured CV = %v", cv, gotCV)
+		}
+	}
+	// Same seed, same stream.
+	a, b := New(11), New(11)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Gamma(0.25, 2), b.Gamma(0.25, 2); x != y {
+			t.Fatalf("gamma stream diverged at %d: %v != %v", i, x, y)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	g := New(1)
+	for _, fn := range []func(){
+		func() { g.Gamma(0, 1) },
+		func() { g.Gamma(1, -1) },
+		func() { g.GammaInterarrival(0, 1) },
+		func() { g.GammaInterarrival(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad gamma params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
