@@ -68,19 +68,25 @@ verify: build vet lint race chaos tenants serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	SILOD_BENCH=1 $(GO) test . -run TestEmitBenchPR5 -v
+	SILOD_BENCH=1 $(GO) test . -run 'TestEmitBenchPR5|TestEmitBenchPR10' -v -timeout 30m
 
 # baseline regenerates BENCH_baseline.json from the metrics counters.
 baseline:
 	$(GO) test . -run TestEmitBenchBaseline
 
-# perf is the worker-pool gate: the runner stress test under the race
-# detector, plus the parallel-vs-sequential byte-identity tests at both
-# the experiment and CLI layers. See docs/performance.md.
+# perf is the worker-pool and incremental-scheduling gate: the runner
+# stress test under the race detector, the parallel-vs-sequential and
+# incremental-vs-full-resolve byte-identity tests at the policy, engine,
+# experiment and CLI layers, and the hollow-node control-plane smoke.
+# See docs/performance.md.
 perf:
 	$(GO) test -race -run 'TestPoolStress|TestMap|TestForEach|TestArmSeed' ./internal/runner/
-	$(GO) test -race -run TestParallelArtifactsByteIdentical ./internal/experiments/
-	$(GO) test -race -run 'TestParallelFlagByteIdentical|TestDeterministic' ./cmd/silodsim/
+	$(GO) test -race -run 'TestMaxMinSolverWarm|TestIgnoredFields' ./internal/policy/
+	$(GO) test -race -run 'TestCheLRUWarm' ./internal/cache/
+	$(GO) test -race -run 'TestIncremental' ./internal/sim/
+	$(GO) test -race -run 'TestParallelArtifactsByteIdentical|TestIncrementalArtifactsByteIdentical' ./internal/experiments/
+	$(GO) test -race -run 'TestParallelFlagByteIdentical|TestDeterministic|TestFullResolve' ./cmd/silodsim/
+	$(GO) test -race ./internal/hollow/ ./cmd/silodhollow/
 
 clean:
 	$(GO) clean ./...

@@ -47,6 +47,7 @@ func TestBadModuleFindings(t *testing.T) {
 		`(?m)^internal/policy/policy\.go:\d+:\d+: maporder: float accumulation into total in map iteration order`,
 		`(?m)^internal/policy/policy\.go:\d+:\d+: purecheck: silod:pure function Score calls time\.Now`,
 		`(?m)^internal/policy/policy\.go:\d+:\d+: hotalloc: silod:hotpath function Hot allocates: make`,
+		`(?m)^internal/policy/policy\.go:\d+:\d+: purecheck: silod:pure-requires: solveDelta is not annotated`,
 		`(?m)^internal/experiments/experiments\.go:\d+:\d+: detclose: simulation root Figure99 transitively reaches a wall-clock read \(time\.Now\)`,
 		`(?m)^internal/controlplane/controlplane\.go:\d+:\d+: inputflow: untrusted Req\.Blocks flows into allocation size`,
 		`(?m)^internal/tenant/slo\.go:\d+:\d+: exhaust: switch over closed enum tenant\.sloClass misses sloSheddable`,
@@ -58,7 +59,7 @@ func TestBadModuleFindings(t *testing.T) {
 			t.Errorf("stdout missing diagnostic matching %s\nstdout:\n%s", re, stdout)
 		}
 	}
-	if !strings.Contains(stderr, "23 finding(s)") {
+	if !strings.Contains(stderr, "24 finding(s)") {
 		t.Errorf("stderr missing finding count, got:\n%s", stderr)
 	}
 }
@@ -196,8 +197,8 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 23 {
-		t.Fatalf("got %d JSON lines, want 23:\n%s", len(lines), stdout)
+	if len(lines) != 24 {
+		t.Fatalf("got %d JSON lines, want 24:\n%s", len(lines), stdout)
 	}
 	byAnalyzer := map[string]jsonDiagnostic{}
 	for _, line := range lines {
@@ -301,7 +302,7 @@ func TestDiffMode(t *testing.T) {
 	dir, _ := gitBadmod(t)
 
 	// No changes since HEAD: nothing to report, even though the module
-	// has 23 findings.
+	// has 24 findings.
 	code, stdout, _ := runLint(t, "-root", dir, "-diff", "HEAD")
 	if code != 0 || stdout != "" {
 		t.Fatalf("clean diff: code = %d, stdout:\n%s", code, stdout)
@@ -329,7 +330,7 @@ func TestDiffMode(t *testing.T) {
 		t.Errorf("diff run reports packages the change cannot affect:\n%s", stdout)
 	}
 
-	// A non-Go change falls back to the full run: all 23 findings.
+	// A non-Go change falls back to the full run: all 24 findings.
 	if err := os.WriteFile(slo, data, 0o644); err != nil { // revert
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestDiffMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	code, _, stderr = runLint(t, "-root", dir, "-diff", "HEAD")
-	if code != 1 || !strings.Contains(stderr, "23 finding(s)") {
+	if code != 1 || !strings.Contains(stderr, "24 finding(s)") {
 		t.Errorf("non-Go diff should run full: code = %d, stderr:\n%s", code, stderr)
 	}
 

@@ -1,7 +1,8 @@
 // Package policy is the badmod slice for the dataflow analyzers: a
 // float sum in map iteration order, a // silod:pure function that
-// reads the wall clock, and a // silod:hotpath function that
-// allocates.
+// reads the wall clock, a // silod:hotpath function that allocates,
+// and a stale delta-memo: an IgnoredViewFields declaration vouching
+// for a solver that lost its // silod:pure annotation.
 package policy
 
 import "time"
@@ -32,3 +33,16 @@ func Hot(n int) []int {
 	buf := make([]int, n)
 	return buf
 }
+
+// IgnoredViewFields declares a delta-aware solve skip: engines reuse a
+// memoized assignment when only the masked fields changed, which is
+// byte-identical only while the solver it vouches for stays pure. The
+// vouched solver below has no silod:pure annotation — the stale-memo
+// shape purecheck exists to catch.
+//
+// silod:pure-requires: solveDelta
+func IgnoredViewFields() uint32 { return 1 }
+
+// solveDelta is the solver the memo rests on; its silod:pure
+// annotation was dropped, so the skip above is no longer vouched for.
+func solveDelta(x float64) float64 { return x * 2 }

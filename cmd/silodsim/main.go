@@ -221,6 +221,7 @@ func run(args []string, w *os.File) error {
 	cacheStr := fs.String("cache", "24TB", "cluster cache capacity (trace mode)")
 	remoteStr := fs.String("remote", "1GB", "remote IO capacity in bytes/sec (trace mode), e.g. 1GB")
 	engine := fs.String("engine", "fluid", "simulation engine: fluid | batch")
+	fullResolve := fs.Bool("full-resolve", false, "disable incremental scheduling fast paths (reference mode; outputs are byte-identical either way)")
 	csvDir := fs.String("csv", "", "write timeline series as CSV files into this directory (trace mode)")
 	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, per-job events) to this file (trace mode)")
 	faultsPath := fs.String("faults", "", "replay a deterministic fault schedule (JSON, see docs/fault-injection.md) during the run (trace mode)")
@@ -268,9 +269,10 @@ func run(args []string, w *os.File) error {
 	o := experiments.Options{
 		Seed: *seed, Jobs: *jobsN, Quick: *quick,
 		Sequential: *parallel == 1, Workers: *parallel,
+		FullResolve: *fullResolve,
 	}
 	if *trace != "" {
-		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut, *faultsPath)
+		return runTrace(w, *trace, *scheduler, *system, *engine, *gpus, *cacheStr, *remoteStr, *seed, *csvDir, *metricsOut, *faultsPath, *fullResolve)
 	}
 	if *faultsPath != "" {
 		return fmt.Errorf("-faults requires -trace (fault schedules apply to trace runs)")
@@ -298,7 +300,7 @@ func run(args []string, w *os.File) error {
 
 // runTrace simulates a trace file under one (scheduler, system) pair.
 // silod:sim-root
-func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir, metricsOut, faultsPath string) error {
+func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cacheStr, remoteStr string, seed int64, csvDir, metricsOut, faultsPath string, fullResolve bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -350,14 +352,15 @@ func runTrace(w *os.File, path, scheduler, system, engine string, gpus int, cach
 		tl = metrics.NewTimeline(0)
 	}
 	res, err := sim.Run(sim.Config{
-		Cluster:  core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: remoteBW},
-		Policy:   pol,
-		System:   cs,
-		Engine:   eng,
-		Seed:     seed,
-		Faults:   sched,
-		Metrics:  reg,
-		Timeline: tl,
+		Cluster:     core.Cluster{GPUs: gpus, Cache: cacheBytes, RemoteIO: remoteBW},
+		Policy:      pol,
+		System:      cs,
+		Engine:      eng,
+		Seed:        seed,
+		Faults:      sched,
+		Metrics:     reg,
+		Timeline:    tl,
+		FullResolve: fullResolve,
 	}, jobs)
 	if err != nil {
 		return err

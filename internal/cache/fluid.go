@@ -81,7 +81,13 @@ func occupancy(tau, T float64) float64 {
 	if T <= 0 {
 		return 1
 	}
-	return math.Min(gapSurvivalIntegral(tau, T)/T, 1)
+	// Branch instead of math.Min: both inputs are finite here (T > 0,
+	// the integral is bounded by T), so the result is bit-identical and
+	// the function call drops out of the bisection's innermost loop.
+	if v := gapSurvivalIntegral(tau, T) / T; v < 1 {
+		return v
+	}
+	return 1
 }
 
 // CheLRU solves the Che characteristic-time approximation for a shared
@@ -97,14 +103,36 @@ func occupancy(tau, T float64) float64 {
 //
 // silod:pure
 func CheLRU(capacity unit.Bytes, streams []FluidStream) []float64 {
+	hits, _ := CheLRUWarm(capacity, streams, 0)
+	return hits
+}
+
+// CheLRUWarm is CheLRU with a warm-start hint: a τ from an earlier,
+// nearby solve (0 means cold). It also returns the converged τ so the
+// caller can feed it back. The hint never changes the answer: the
+// bisection replays the exact cold trajectory over [0, 2·maxT], and the
+// hint only pre-establishes evaluated below/above bounds (two probes at
+// hint·(1∓5%) on the CURRENT streams) so mids outside the open interval
+// between them take the verdict monotonicity dictates. occBytes is
+// mathematically monotone nondecreasing in τ (each term's derivative is
+// a survival probability ≥ 0); the deduction trusts that monotonicity
+// down to the last float64 ulp, which the engine-level byte-identity
+// gates (full-resolve vs incremental) validate end to end.
+//
+// silod:pure
+func CheLRUWarm(capacity unit.Bytes, streams []FluidStream, hint float64) ([]float64, float64) {
 	hits := make([]float64, len(streams))
 	if capacity <= 0 || len(streams) == 0 {
-		return hits
+		return hits, 0
 	}
+	// Periods are loop-invariant across the ~55 bisection evaluations,
+	// so the per-stream division happens once here.
+	periods := make([]float64, len(streams))
 	var totalActive unit.Bytes
 	maxT := 0.0
-	for _, s := range streams {
+	for i, s := range streams {
 		T := s.epochPeriod()
+		periods[i] = T
 		if !math.IsInf(T, 1) {
 			totalActive += s.Size
 			if T > maxT {
@@ -113,7 +141,7 @@ func CheLRU(capacity unit.Bytes, streams []FluidStream) []float64 {
 		}
 	}
 	if totalActive == 0 {
-		return hits
+		return hits, 0
 	}
 	if totalActive <= capacity {
 		// Everything fits: after warm-up every access hits.
@@ -122,29 +150,70 @@ func CheLRU(capacity unit.Bytes, streams []FluidStream) []float64 {
 				hits[i] = 1
 			}
 		}
-		return hits
+		return hits, 0
 	}
 	// Bisection on τ: occupancy is monotone increasing in τ.
 	occBytes := func(tau float64) float64 {
 		var total float64
-		for _, s := range streams {
-			total += float64(s.Size) * occupancy(tau, s.epochPeriod())
+		for i, s := range streams {
+			total += float64(s.Size) * occupancy(tau, periods[i])
 		}
 		return total
 	}
 	lo, hi := 0.0, 2*maxT
 	target := float64(capacity)
+	// knownBelow/knownAbove bracket τ with verdicts evaluated on the
+	// current streams: occBytes(knownBelow) < target <= occBytes(knownAbove).
+	knownBelow, knownAbove := 0.0, math.Inf(1)
+	if hint > 0 {
+		if c := hint * 0.95; c > 0 && c < hi {
+			if occBytes(c) < target {
+				knownBelow = c
+			} else {
+				knownAbove = c
+			}
+		}
+		if c := hint * 1.05; c > knownBelow && c < knownAbove && c < hi {
+			if occBytes(c) < target {
+				knownBelow = c
+			} else {
+				knownAbove = c
+			}
+		}
+	}
 	for i := 0; i < 80; i++ {
 		mid := (lo + hi) / 2
-		if occBytes(mid) < target {
+		prevLo, prevHi := math.Float64bits(lo), math.Float64bits(hi)
+		var below bool
+		switch {
+		case mid <= knownBelow:
+			below = true
+		case mid >= knownAbove:
+			below = false
+		default:
+			below = occBytes(mid) < target
+			if below {
+				knownBelow = mid
+			} else {
+				knownAbove = mid
+			}
+		}
+		if below {
 			lo = mid
 		} else {
 			hi = mid
 		}
+		// Bit-level fixed point: once an iteration leaves the bracket
+		// unchanged (the midpoint has collapsed onto an endpoint at
+		// float64 precision), every remaining iteration repeats it
+		// exactly, so stopping cannot change τ by a single bit.
+		if math.Float64bits(lo) == prevLo && math.Float64bits(hi) == prevHi {
+			break
+		}
 	}
 	tau := (lo + hi) / 2
-	for i, s := range streams {
-		hits[i] = gapCDF(tau, s.epochPeriod())
+	for i := range streams {
+		hits[i] = gapCDF(tau, periods[i])
 	}
-	return hits
+	return hits, tau
 }

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/unit"
+)
+
+// randStreams builds a randomized fluid-stream mix: mostly active scans
+// of varied size/rate, with some idle streams sprinkled in.
+func randStreams(rng *rand.Rand, n int) []FluidStream {
+	streams := make([]FluidStream, n)
+	for i := range streams {
+		streams[i] = FluidStream{
+			Size: unit.GiB(float64(1 + rng.Intn(500))),
+			Rate: unit.MBpsOf(float64(rng.Intn(800))), // 0 => idle
+		}
+	}
+	return streams
+}
+
+// TestCheLRUWarmHintIdentity is the cache-layer byte-identity gate for
+// the warm-started Che bisection: whatever hint the caller passes —
+// below τ, above τ, near τ, absurdly small or large — the hits AND the
+// converged τ must be bitwise identical to the cold solve. The hint may
+// only save occBytes evaluations, never change the trajectory's result.
+func TestCheLRUWarmHintIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		streams := randStreams(rng, 1+rng.Intn(24))
+		capacity := unit.GiB(float64(1 + rng.Intn(2000)))
+		coldHits, coldTau := CheLRUWarm(capacity, streams, 0)
+		hints := []float64{
+			coldTau * 0.5,
+			coldTau,
+			coldTau * 2,
+			1e-12,
+			1e12,
+			coldTau * (0.8 + 0.4*rng.Float64()),
+		}
+		for _, hint := range hints {
+			if hint <= 0 {
+				continue
+			}
+			warmHits, warmTau := CheLRUWarm(capacity, streams, hint)
+			if math.Float64bits(warmTau) != math.Float64bits(coldTau) {
+				t.Fatalf("trial %d hint %g: τ warm %v cold %v", trial, hint, warmTau, coldTau)
+			}
+			for i := range coldHits {
+				if math.Float64bits(warmHits[i]) != math.Float64bits(coldHits[i]) {
+					t.Fatalf("trial %d hint %g stream %d: hit warm %v cold %v",
+						trial, hint, i, warmHits[i], coldHits[i])
+				}
+			}
+		}
+		// CheLRU is the documented cold wrapper.
+		wrapped := CheLRU(capacity, streams)
+		for i := range coldHits {
+			if math.Float64bits(wrapped[i]) != math.Float64bits(coldHits[i]) {
+				t.Fatalf("trial %d stream %d: CheLRU diverges from cold CheLRUWarm", trial, i)
+			}
+		}
+	}
+}
+
+// TestCheLRUWarmFeedbackLoop replays the production usage: each round
+// feeds the previous round's τ back as the hint while the stream mix
+// drifts, and every round must match its own cold solve.
+func TestCheLRUWarmFeedbackLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	streams := randStreams(rng, 16)
+	capacity := unit.GiB(300)
+	hint := 0.0
+	for round := 0; round < 150; round++ {
+		warmHits, warmTau := CheLRUWarm(capacity, streams, hint)
+		coldHits, coldTau := CheLRUWarm(capacity, streams, 0)
+		if math.Float64bits(warmTau) != math.Float64bits(coldTau) {
+			t.Fatalf("round %d: τ warm %v cold %v (hint %v)", round, warmTau, coldTau, hint)
+		}
+		for i := range coldHits {
+			if math.Float64bits(warmHits[i]) != math.Float64bits(coldHits[i]) {
+				t.Fatalf("round %d stream %d: hit warm %v cold %v", round, i, warmHits[i], coldHits[i])
+			}
+		}
+		hint = warmTau
+		// Drift: progress changes rates, arrivals/departures swap streams.
+		for i := range streams {
+			if rng.Intn(3) == 0 {
+				streams[i].Rate = unit.MBpsOf(float64(rng.Intn(800)))
+			}
+		}
+		if round%20 == 19 {
+			streams = randStreams(rng, 8+rng.Intn(16))
+		}
+	}
+}

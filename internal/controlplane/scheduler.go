@@ -73,14 +73,27 @@ type SchedulerServer struct {
 	policy   core.Policy
 	dp       DataPlane
 	jobs     map[string]*schedJob  // guarded by mu
+	active   map[string]*schedJob  // guarded by mu (attached and not done: the round's working set)
 	requests map[string]string     // guarded by mu (submit request ID -> job ID)
 	nodes    map[string]*nodeState // guarded by mu
+	nodeIDs  []string              // guarded by mu (node names, kept sorted incrementally)
 	liveness time.Duration         // guarded by mu (node liveness timeout)
-	clock    func() time.Time      // injected; never the package-level time.Now
-	epoch    time.Time             // scheduler start, for Submit timestamps
-	mux      *http.ServeMux
-	registry *metrics.Registry
-	met      schedMetrics
+	// Effective-cluster cache: recomputed only when a node arrives,
+	// dies, revives or changes capacity, so the steady-state heartbeat
+	// storm of a large cluster costs O(1) per beat.
+	effValid  bool             // guarded by mu
+	eff       core.Cluster     // guarded by mu (valid iff effValid)
+	liveNodes int              // guarded by mu (valid iff effValid)
+	clock     func() time.Time // injected; never the package-level time.Now
+	epoch     time.Time        // scheduler start, for Submit timestamps
+	mux       *http.ServeMux
+	registry  *metrics.Registry
+	met       schedMetrics
+	// round serializes Schedule rounds and owns their scratch:
+	// interleaved push sequences from two concurrent rounds could
+	// violate the decrease-before-raise order, and serialization gives
+	// the scratch a single owner.
+	round schedRound
 	// tenants and admission are nil in the untenanted (flat pool)
 	// deployment; ConfigureTenants sets both before serving starts.
 	tenants   *tenant.Registry
@@ -89,6 +102,37 @@ type SchedulerServer struct {
 	// it to switch POST /v1/jobs to bounded enqueue-or-shed (serve.go).
 	queue    *admission.Queue // guarded by mu
 	draining bool             // guarded by mu (SIGTERM drain: new submits get 503)
+}
+
+// schedRound serializes Schedule rounds and carries the scratch they
+// reuse. Its mutex is deliberately separate from SchedulerServer.mu:
+// rounds hold it across the data-plane push, which must not block
+// heartbeats and progress reports.
+type schedRound struct {
+	mu sync.Mutex
+	sc roundScratch // guarded by mu
+}
+
+// roundScratch holds the buffers a Schedule round reuses from round to
+// round, mirroring core.Assignment.Reset: maps are cleared, not
+// reallocated. One round runs at a time (schedRound.mu), so the scratch
+// has a single owner.
+type roundScratch struct {
+	views      []core.JobView
+	byID       map[string]*schedJob
+	oldRemote  map[string]unit.Bandwidth
+	quotas     map[string]unit.Bytes
+	remote     map[string]unit.Bandwidth
+	quotaKeys  []string
+	remoteKeys []string
+	val        core.ValidateScratch
+	// booked is the per-dataset quota most recently pushed to the data
+	// plane, persisted across rounds (never cleared). It classifies each
+	// new quota as a decrease or a raise. Job records can't answer that:
+	// a dataset shared by an old job and one submitted this round would
+	// report either the old quota or zero depending on map iteration
+	// order, flipping the push phase nondeterministically.
+	booked map[string]unit.Bytes
 }
 
 // NewSchedulerServer builds a scheduler for the cluster driving dp with
@@ -111,6 +155,7 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 		policy:   pol,
 		dp:       dp,
 		jobs:     make(map[string]*schedJob),
+		active:   make(map[string]*schedJob),
 		requests: make(map[string]string),
 		nodes:    make(map[string]*nodeState),
 		liveness: DefaultNodeLivenessTimeout,
@@ -118,6 +163,15 @@ func NewSchedulerServer(cluster core.Cluster, pol core.Policy, dp DataPlane, clo
 		epoch:    clock(),
 		mux:      http.NewServeMux(),
 		registry: metrics.NewRegistry("scheduler"),
+		// The round scratch maps are born here so the hot round never
+		// allocates them.
+		round: schedRound{sc: roundScratch{
+			byID:      make(map[string]*schedJob),
+			oldRemote: make(map[string]unit.Bandwidth),
+			quotas:    make(map[string]unit.Bytes),
+			remote:    make(map[string]unit.Bandwidth),
+			booked:    make(map[string]unit.Bytes),
+		}},
 	}
 	s.met = newSchedMetrics(s.registry)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -208,6 +262,7 @@ func (s *SchedulerServer) Submit(req SubmitJobRequest) error {
 	s.mu.Lock()
 	if j, ok := s.jobs[req.JobID]; ok {
 		j.attached = true
+		s.active[req.JobID] = j
 	}
 	s.mu.Unlock()
 	return nil
@@ -224,6 +279,7 @@ func (s *SchedulerServer) rollbackSubmit(req SubmitJobRequest) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, req.JobID)
+	delete(s.active, req.JobID)
 	if req.RequestID != "" {
 		delete(s.requests, req.RequestID)
 	}
@@ -251,6 +307,7 @@ func (s *SchedulerServer) Progress(req ProgressRequest) error {
 	if req.Done && !j.done {
 		j.done = true
 		j.running = false
+		delete(s.active, req.JobID)
 		if s.admission != nil {
 			// Refund the tenant's quota charge now that the job is done.
 			s.admission.Release(req.JobID)
@@ -283,8 +340,15 @@ func (s *SchedulerServer) Heartbeat(req HeartbeatRequest) error {
 	if !known {
 		n = &nodeState{}
 		s.nodes[req.Node] = n
+		// Keep the node-id order incrementally: one O(n) insert per new
+		// node instead of an O(n log n) sort per effective-cluster query.
+		i := sort.SearchStrings(s.nodeIDs, req.Node)
+		s.nodeIDs = append(s.nodeIDs, "")
+		copy(s.nodeIDs[i+1:], s.nodeIDs[i:])
+		s.nodeIDs[i] = req.Node
 	}
 	revived := known && !n.live
+	changed := !known || revived || n.gpus != req.GPUs || n.cache != req.Cache
 	n.gpus = req.GPUs
 	n.cache = req.Cache
 	n.lastSeen = s.clock()
@@ -295,7 +359,14 @@ func (s *SchedulerServer) Heartbeat(req HeartbeatRequest) error {
 		s.met.nodeRecoveries.Inc()
 		quotas, remote = s.allocationsLocked()
 	}
-	s.updateNodeGaugesLocked()
+	if changed {
+		// Only a membership or capacity change moves the effective
+		// cluster; the steady-state heartbeat (same node, same capacity)
+		// takes the O(1) fast path and skips the gauge refresh, whose
+		// values cannot have moved.
+		s.effValid = false
+		s.updateNodeGaugesLocked()
+	}
 	s.mu.Unlock()
 	s.met.heartbeats.Inc()
 	for ds, q := range quotas {
@@ -318,7 +389,8 @@ func (s *SchedulerServer) Nodes() []NodeStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]NodeStatus, 0, len(s.nodes))
-	for name, n := range s.nodes {
+	for _, name := range s.nodeIDs {
+		n := s.nodes[name]
 		out = append(out, NodeStatus{
 			Node:            name,
 			GPUs:            n.gpus,
@@ -327,7 +399,6 @@ func (s *SchedulerServer) Nodes() []NodeStatus {
 			Live:            n.live,
 		})
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].Node < out[k].Node })
 	return out
 }
 
@@ -364,6 +435,7 @@ func (s *SchedulerServer) refreshLivenessLocked(now time.Time) {
 	for _, n := range s.nodes {
 		if n.live && now.Sub(n.lastSeen) > s.liveness {
 			n.live = false
+			s.effValid = false
 			s.met.nodeDeaths.Inc()
 		}
 	}
@@ -373,45 +445,48 @@ func (s *SchedulerServer) refreshLivenessLocked(now time.Time) {
 // configured cluster when no node has ever registered (static
 // deployments), otherwise the live nodes' total clamped to the
 // configured cluster. Remote IO is a storage-fabric property, not a
-// node property, so it stays configured. The caller holds s.mu.
+// node property, so it stays configured. The result is cached and
+// recomputed only after a node arrival, death, revival or capacity
+// change, so the heartbeat storm of a datacenter-scale cluster never
+// re-sums it. The caller holds s.mu.
 func (s *SchedulerServer) effectiveClusterLocked() core.Cluster {
+	if s.effValid {
+		return s.eff
+	}
 	eff := s.cluster
-	if len(s.nodes) == 0 {
-		return eff
-	}
-	// Sorted-id sum: the cache total is a float (unit.Bytes) and must
-	// not vary with per-process map iteration order.
-	ids := make([]string, 0, len(s.nodes))
-	for id := range s.nodes {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	gpus := 0
-	var cache unit.Bytes
-	for _, id := range ids {
-		if n := s.nodes[id]; n.live {
-			gpus += n.gpus
-			cache += n.cache
+	live := 0
+	if len(s.nodes) > 0 {
+		// Sorted-id sum: the cache total is a float (unit.Bytes) and
+		// must not vary with per-process map iteration order. nodeIDs is
+		// maintained sorted by Heartbeat, so no sort happens here.
+		gpus := 0
+		var cache unit.Bytes
+		for _, id := range s.nodeIDs {
+			if n := s.nodes[id]; n.live {
+				gpus += n.gpus
+				cache += n.cache
+				live++
+			}
+		}
+		if gpus < eff.GPUs {
+			eff.GPUs = gpus
+		}
+		if cache < eff.Cache {
+			eff.Cache = cache
 		}
 	}
-	if gpus < eff.GPUs {
-		eff.GPUs = gpus
-	}
-	if cache < eff.Cache {
-		eff.Cache = cache
-	}
+	s.eff = eff
+	s.liveNodes = live
+	s.effValid = true
 	return eff
 }
 
 // allocationsLocked snapshots the live jobs' persisted allocations (the
 // annotation state) for re-pushing. The caller holds s.mu.
 func (s *SchedulerServer) allocationsLocked() (map[string]unit.Bytes, map[string]unit.Bandwidth) {
-	quotas := make(map[string]unit.Bytes)
-	remote := make(map[string]unit.Bandwidth)
-	for id, j := range s.jobs {
-		if j.done || !j.attached {
-			continue
-		}
+	quotas := make(map[string]unit.Bytes, len(s.active))
+	remote := make(map[string]unit.Bandwidth, len(s.active))
+	for id, j := range s.active {
 		quotas[j.req.Dataset] = j.quota
 		remote[id] = j.remoteIO
 	}
@@ -421,14 +496,8 @@ func (s *SchedulerServer) allocationsLocked() (map[string]unit.Bytes, map[string
 // updateNodeGaugesLocked refreshes the node-liveness gauges. The caller
 // holds s.mu.
 func (s *SchedulerServer) updateNodeGaugesLocked() {
-	live := 0
-	for _, n := range s.nodes {
-		if n.live {
-			live++
-		}
-	}
 	eff := s.effectiveClusterLocked()
-	s.met.nodesLive.Set(float64(live))
+	s.met.nodesLive.Set(float64(s.liveNodes))
 	s.met.effGPUs.Set(float64(eff.GPUs))
 	s.met.effCache.Set(float64(eff.Cache))
 }
@@ -449,15 +518,26 @@ func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("controlplane: schedule round: %w", err)
 	}
+	s.round.mu.Lock()
+	defer s.round.mu.Unlock()
+	return s.scheduleRound(ctx, &s.round.sc)
+}
+
+// scheduleRound is the allocation round's hot body; the caller holds
+// round.mu and passes its scratch. The round runs continuously against every active job in the
+// cluster, so it reuses the round scratch instead of building fresh
+// maps — at datacenter scale (thousands of nodes, a long tail of
+// finished jobs) the per-round map churn dominated round latency. The
+// active index keeps the view pass proportional to live jobs, not to
+// everything ever submitted.
+//
+// silod:hotpath
+func (s *SchedulerServer) scheduleRound(ctx context.Context, sc *roundScratch) error {
 	s.mu.Lock()
-	views := make([]core.JobView, 0, len(s.jobs))
-	byID := make(map[string]*schedJob, len(s.jobs))
-	for id, j := range s.jobs {
-		// Unattached jobs (mid-Submit) are invisible to the round: the
-		// data plane cannot accept allocations for them yet.
-		if j.done || !j.attached {
-			continue
-		}
+	views := sc.views[:0]
+	// Unattached jobs (mid-Submit) are absent from the active index: the
+	// data plane cannot accept allocations for them yet.
+	for id, j := range s.active {
 		rem := j.req.TotalBytes - j.attained
 		if rem < 0 {
 			rem = 0
@@ -482,7 +562,8 @@ func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
 			Irregular:       j.req.Irregular,
 		})
 	}
-	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	sc.views = views
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID }) // silod:alloc sort.Slice's closure+header, amortized over the round
 	wall := s.clock()
 	s.refreshLivenessLocked(wall)
 	eff := s.effectiveClusterLocked()
@@ -516,25 +597,25 @@ func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
 	}
 	now := unit.Time(wall.Sub(s.epoch).Seconds())
 	a := s.policy.Assign(eff, now, views)
-	if err := a.Validate(eff, views); err != nil {
+	if err := a.ValidateWith(eff, views, &sc.val); err != nil {
 		s.mu.Unlock()
-		return fmt.Errorf("controlplane: policy %s: %w", s.policy.Name(), err)
+		return fmt.Errorf("controlplane: policy %s: %w", s.policy.Name(), err) // silod:alloc error path
 	}
-	for _, v := range views {
-		byID[v.ID] = s.jobs[v.ID]
+	byID := sc.byID
+	clear(byID)
+	for i := range views {
+		byID[views[i].ID] = s.active[views[i].ID]
 	}
 	var runningJobs, gpusAlloc, queued int
 	// Every known job gets an explicit entry — a job the policy dropped
 	// (preempted after a node loss) must release its data-plane
 	// allocation, not silently keep it.
-	oldRemote := make(map[string]unit.Bandwidth, len(byID))
-	oldQuota := make(map[string]unit.Bytes, len(byID))
-	quotas := make(map[string]unit.Bytes, len(byID))
-	remote := make(map[string]unit.Bandwidth, len(byID))
+	clear(sc.oldRemote)
+	clear(sc.quotas)
+	clear(sc.remote)
 	for id, j := range byID {
 		was := j.running
-		oldRemote[id] = j.remoteIO
-		oldQuota[j.req.Dataset] = j.quota
+		sc.oldRemote[id] = j.remoteIO
 		j.gpus = a.GPUs[id]
 		j.running = j.gpus > 0
 		if was && !j.running {
@@ -542,8 +623,8 @@ func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
 		}
 		j.remoteIO = a.RemoteIO[id]
 		j.quota = a.CacheQuota[j.req.Dataset]
-		remote[id] = j.remoteIO
-		quotas[j.req.Dataset] = j.quota
+		sc.remote[id] = j.remoteIO
+		sc.quotas[j.req.Dataset] = j.quota
 		if j.running {
 			runningJobs++
 			gpusAlloc += j.gpus
@@ -561,43 +642,56 @@ func (s *SchedulerServer) ScheduleCtx(ctx context.Context) error {
 	// the ledger and cache pool enforce capacity on every call, so a
 	// raise issued while a shrunken job's old allocation is still booked
 	// would be rejected as oversubscription.
-	push := func(grow bool) error {
-		for _, ds := range sortedKeys(quotas) {
-			if q := quotas[ds]; (q > oldQuota[ds]) == grow {
-				if err := s.dp.AllocateCacheSize(ds, q); err != nil {
-					s.met.pushErrors.Inc()
-					return err
-				}
-			}
-		}
-		for _, id := range sortedKeys(remote) {
-			if bw := remote[id]; (bw > oldRemote[id]) == grow {
-				if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
-					s.met.pushErrors.Inc()
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := push(false); err != nil {
+	sc.quotaKeys = sortedKeysInto(sc.quotaKeys, sc.quotas)
+	sc.remoteKeys = sortedKeysInto(sc.remoteKeys, sc.remote)
+	if err := s.pushAllocations(sc, false); err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("controlplane: schedule round: %w", err)
 	}
-	return push(true)
+	return s.pushAllocations(sc, true)
 }
 
-// sortedKeys returns m's keys in sorted order, for deterministic
-// data-plane push sequences.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// pushAllocations pushes the round's allocation deltas in one
+// direction over the pre-sorted key lists: decreases (grow=false)
+// before raises (grow=true). The caller holds round.mu and passes its
+// scratch.
+//
+// silod:hotpath
+func (s *SchedulerServer) pushAllocations(sc *roundScratch, grow bool) error {
+	for _, ds := range sc.quotaKeys {
+		if q := sc.quotas[ds]; (q > sc.booked[ds]) == grow {
+			if err := s.dp.AllocateCacheSize(ds, q); err != nil {
+				s.met.pushErrors.Inc()
+				return err
+			}
+			// Recorded push-by-push, not per round: after a mid-sequence
+			// error the next round reclassifies against what actually
+			// landed at the data plane.
+			sc.booked[ds] = q
+		}
 	}
-	sort.Strings(keys)
-	return keys
+	for _, id := range sc.remoteKeys {
+		if bw := sc.remote[id]; (bw > sc.oldRemote[id]) == grow {
+			if err := s.dp.AllocateRemoteIO(id, bw); err != nil {
+				s.met.pushErrors.Inc()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortedKeysInto fills dst with m's keys in sorted order, for
+// deterministic data-plane push sequences, reusing dst's capacity.
+func sortedKeysInto[V any](dst []string, m map[string]V) []string {
+	dst = dst[:0]
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst)
+	return dst
 }
 
 // Annotations returns the persisted allocation state for recovery.

@@ -146,7 +146,34 @@ func (a Assignment) Merge(other Assignment) Assignment {
 //
 // silod:pure
 func (a Assignment) Validate(c Cluster, jobs []JobView) error {
-	byID := make(map[string]JobView, len(jobs))
+	var scratch ValidateScratch
+	return a.ValidateWith(c, jobs, &scratch)
+}
+
+// ValidateScratch holds the map and key buffers Validate needs, so a
+// caller validating every scheduling round (the sim engines, the
+// control plane's round loop) can recycle them instead of allocating
+// fresh ones per solve. The zero value is ready to use; contents are
+// overwritten on every ValidateWith call.
+type ValidateScratch struct {
+	byID map[string]JobView
+	keys []string
+	ids  []string
+}
+
+// ValidateWith is Validate with caller-owned scratch buffers. The
+// verdict — including error strings and the sorted-key float
+// accumulation order — is byte-identical to Validate's; only the
+// allocation behaviour differs.
+//
+// silod:pure
+func (a Assignment) ValidateWith(c Cluster, jobs []JobView, s *ValidateScratch) error {
+	if s.byID == nil {
+		s.byID = make(map[string]JobView, len(jobs))
+	} else {
+		clear(s.byID)
+	}
+	byID := s.byID
 	for _, j := range jobs {
 		byID[j.ID] = j
 	}
@@ -167,7 +194,7 @@ func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 	// Sum in sorted key order: float addition is not associative, and
 	// Validate's totals must not vary with per-process map order.
 	var cacheSum unit.Bytes
-	cacheKeys := make([]string, 0, len(a.CacheQuota))
+	cacheKeys := s.keys[:0]
 	for key := range a.CacheQuota {
 		cacheKeys = append(cacheKeys, key)
 	}
@@ -182,12 +209,14 @@ func (a Assignment) Validate(c Cluster, jobs []JobView) error {
 	if float64(cacheSum) > float64(c.Cache)*(1+1e-9)+1 {
 		return fmt.Errorf("core: %v cache granted, cluster has %v", cacheSum, c.Cache)
 	}
+	s.keys = cacheKeys
 	var ioSum unit.Bandwidth
-	ioIDs := make([]string, 0, len(a.RemoteIO))
+	ioIDs := s.ids[:0]
 	for id := range a.RemoteIO {
 		ioIDs = append(ioIDs, id)
 	}
 	sort.Strings(ioIDs)
+	s.ids = ioIDs
 	for _, id := range ioIDs {
 		bw := a.RemoteIO[id]
 		if bw < 0 {
@@ -224,6 +253,125 @@ type Policy interface {
 // or simply not implement the interface, which engines treat the same.
 type PureAssigner interface {
 	PureAssign() bool
+}
+
+// ViewFields is a bitmask over JobView fields, used by DeltaAssigner to
+// declare which fields a policy's Assign provably never reads.
+type ViewFields uint32
+
+// The maskable JobView fields. Identity fields (ID, DatasetKey) are
+// deliberately not maskable: a changed identity always invalidates a
+// memoized solve.
+const (
+	FieldNumGPUs ViewFields = 1 << iota
+	FieldProfile
+	FieldDatasetSize
+	FieldRemainingBytes
+	FieldAttainedBytes
+	FieldEffectiveCached
+	FieldCachedBytes
+	FieldTenant
+	FieldSLO
+	FieldSubmit
+	FieldRunning
+	FieldIrregular
+)
+
+// DeltaAssigner is the optional PureAssigner extension behind the
+// delta-aware solve skip. IgnoredViewFields returns the JobView fields
+// Assign's output provably does not depend on; when the only
+// differences between two job lists fall inside that set (and the
+// policy is pure), a fresh solve would reproduce the memoized
+// assignment byte for byte, so engines reuse it. Declaring a field the
+// policy actually reads silently corrupts simulations — declarations
+// are cross-checked by the relevance fuzz tests in internal/policy and
+// each one must carry a silod:pure-requires marker naming the Assign
+// it describes, so the lint machinery fails the build if the purity
+// annotation the claim rests on is ever dropped.
+type DeltaAssigner interface {
+	PureAssigner
+	IgnoredViewFields() ViewFields
+}
+
+// FullResolver is implemented by policies that carry incremental state
+// across rounds (memoized sub-solves, warm-started bisection brackets).
+// SetFullResolve(true) drops that state and forces every round to
+// re-solve from scratch: the byte-identity reference the gates compare
+// against. Engines forward Config.FullResolve here at run start.
+type FullResolver interface {
+	SetFullResolve(full bool)
+}
+
+// ViewsEquivalent reports whether two job lists are equal outside the
+// ignored fields: same length, same per-index identity (ID and
+// DatasetKey always compare), and every non-ignored field equal. With
+// ignore == 0 it is exactly element-wise equality.
+//
+// silod:pure
+func ViewsEquivalent(a, b []JobView, ignore ViewFields) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if ignore == 0 {
+			if a[i] != b[i] {
+				return false
+			}
+			continue
+		}
+		x, y := a[i], b[i]
+		if x.ID != y.ID || x.DatasetKey != y.DatasetKey {
+			return false
+		}
+		if ignore&FieldNumGPUs == 0 && x.NumGPUs != y.NumGPUs {
+			return false
+		}
+		if ignore&FieldProfile == 0 && x.Profile != y.Profile {
+			return false
+		}
+		if ignore&FieldDatasetSize == 0 && x.DatasetSize != y.DatasetSize {
+			return false
+		}
+		if ignore&FieldRemainingBytes == 0 && x.RemainingBytes != y.RemainingBytes {
+			return false
+		}
+		if ignore&FieldAttainedBytes == 0 && x.AttainedBytes != y.AttainedBytes {
+			return false
+		}
+		if ignore&FieldEffectiveCached == 0 && x.EffectiveCached != y.EffectiveCached {
+			return false
+		}
+		if ignore&FieldCachedBytes == 0 && x.CachedBytes != y.CachedBytes {
+			return false
+		}
+		if ignore&FieldTenant == 0 && x.Tenant != y.Tenant {
+			return false
+		}
+		if ignore&FieldSLO == 0 && x.SLO != y.SLO {
+			return false
+		}
+		if ignore&FieldSubmit == 0 && x.Submit != y.Submit {
+			return false
+		}
+		if ignore&FieldRunning == 0 && x.Running != y.Running {
+			return false
+		}
+		if ignore&FieldIrregular == 0 && x.Irregular != y.Irregular {
+			return false
+		}
+	}
+	return true
+}
+
+// PolicyIgnoredFields returns the ignore mask the engines may use for
+// p: the declared mask when p is a pure DeltaAssigner, zero (exact
+// match) otherwise.
+func PolicyIgnoredFields(p Policy) ViewFields {
+	da, ok := p.(DeltaAssigner)
+	if !ok || !da.PureAssign() {
+		return 0
+	}
+	return da.IgnoredViewFields()
 }
 
 // Framework is SiloD's top-level scheduler (Algorithm 1). It partitions
@@ -371,7 +519,16 @@ func equalShareFallback(c Cluster, jobs []JobView) Assignment {
 //
 // silod:pure
 func SortJobs(jobs []JobView) []JobView {
-	out := append([]JobView(nil), jobs...)
+	return SortJobsInto(nil, jobs)
+}
+
+// SortJobsInto is SortJobs with a caller-owned destination buffer
+// (reused via dst[:0]); the returned slice aliases dst's backing array
+// when capacity allows. Order is byte-identical to SortJobs.
+//
+// silod:pure
+func SortJobsInto(dst []JobView, jobs []JobView) []JobView {
+	out := append(dst[:0], jobs...)
 	sort.Slice(out, func(i, j int) bool {
 		if ri, rj := out[i].SLO.Rank(), out[j].SLO.Rank(); ri != rj {
 			return ri < rj
@@ -424,10 +581,52 @@ func (p frameworkPolicy) PureAssign() bool {
 	return p.f.Fallback == nil || policyPure(p.f.Fallback)
 }
 
+// equalShareIgnored is the ignore mask of equalShareFallback: it reads
+// only ID, DatasetKey, NumGPUs, DatasetSize and Submit.
+const equalShareIgnored = FieldProfile | FieldRemainingBytes | FieldAttainedBytes |
+	FieldEffectiveCached | FieldCachedBytes | FieldTenant | FieldSLO | FieldRunning
+
+// IgnoredViewFields implements DeltaAssigner: a field is ignorable for
+// the framework only if every policy it may delegate to ignores it,
+// and never Irregular (the partitioning key) or NumGPUs (the
+// proportional storage split reads gang sizes).
+//
+// silod:pure-requires: (*Framework).Schedule, equalShareFallback
+func (p frameworkPolicy) IgnoredViewFields() ViewFields {
+	mask := policyIgnored(p.f.Policy)
+	if p.f.Fallback != nil {
+		mask &= policyIgnored(p.f.Fallback)
+	} else {
+		mask &= equalShareIgnored
+	}
+	return mask &^ (FieldIrregular | FieldNumGPUs)
+}
+
+// SetFullResolve implements FullResolver by forwarding to both inner
+// policies.
+func (p frameworkPolicy) SetFullResolve(full bool) {
+	if fr, ok := p.f.Policy.(FullResolver); ok {
+		fr.SetFullResolve(full)
+	}
+	if fr, ok := p.f.Fallback.(FullResolver); ok {
+		fr.SetFullResolve(full)
+	}
+}
+
 // policyPure reports whether p declares itself a pure assigner.
 func policyPure(p Policy) bool {
 	pa, ok := p.(PureAssigner)
 	return ok && pa.PureAssign()
+}
+
+// policyIgnored returns p's declared ignore mask, or zero when p is
+// not a pure DeltaAssigner.
+func policyIgnored(p Policy) ViewFields {
+	da, ok := p.(DeltaAssigner)
+	if !ok || !da.PureAssign() {
+		return 0
+	}
+	return da.IgnoredViewFields()
 }
 
 // AsPolicy returns the framework as a Policy.

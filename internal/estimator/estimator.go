@@ -46,6 +46,8 @@ func (p JobProfile) Validate() error {
 
 // hitRatio returns c/d clamped to [0,1]: with uniform caching the
 // expected per-epoch hit ratio equals the cached fraction (§2.2).
+//
+// silod:pure
 func (p JobProfile) hitRatio(c unit.Bytes) float64 {
 	if p.DatasetSize <= 0 {
 		return 0
@@ -58,6 +60,8 @@ func (p JobProfile) hitRatio(c unit.Bytes) float64 {
 // and remote IO b. With the entire dataset cached the loader is never
 // remote-IO limited, so the result is +Inf (the min in Eq. 1 then picks
 // f*).
+//
+// silod:pure
 func (p JobProfile) IOPerf(r Resources) unit.Bandwidth {
 	miss := 1 - p.hitRatio(r.Cache)
 	if miss <= 0 {
@@ -70,6 +74,8 @@ func (p JobProfile) IOPerf(r Resources) unit.Bandwidth {
 }
 
 // Perf is Eq. 4: the end-to-end training throughput min(f*, IOPerf).
+//
+// silod:pure
 func (p JobProfile) Perf(r Resources) unit.Bandwidth {
 	io := p.IOPerf(r)
 	if io > p.IdealThroughput {

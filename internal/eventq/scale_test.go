@@ -1,0 +1,130 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/simrng"
+)
+
+// TestDuplicateTimestampStability drives heavy timestamp collisions —
+// the event-batching regime, where simultaneous arrivals and
+// completions pile onto the same instant — and checks that same-time
+// events fire strictly in insertion order, interleaved with heap churn
+// from cancellations.
+func TestDuplicateTimestampStability(t *testing.T) {
+	q := New()
+	rng := simrng.New(3)
+	const groups, perGroup = 200, 64
+	var fired []int
+	var cancels []*Event
+	id := 0
+	for g := 0; g < groups; g++ {
+		ts := float64(rng.Intn(50)) // many groups share each timestamp
+		for i := 0; i < perGroup; i++ {
+			n := id
+			ev := q.Schedule(ts, func() { fired = append(fired, n) })
+			if rng.Intn(8) == 0 {
+				cancels = append(cancels, ev)
+			}
+			id++
+		}
+	}
+	for _, ev := range cancels {
+		q.Cancel(ev)
+	}
+	for q.Step() {
+	}
+	// Reconstruct the expectation: events sorted by (time, insertion
+	// order) with the cancelled ones dropped. Insertion order is the id.
+	type slot struct {
+		time float64
+		id   int
+		dead bool
+	}
+	slots := make([]slot, 0, groups*perGroup)
+	rng2 := simrng.New(3)
+	id = 0
+	for g := 0; g < groups; g++ {
+		ts := float64(rng2.Intn(50))
+		for i := 0; i < perGroup; i++ {
+			dead := rng2.Intn(8) == 0
+			slots = append(slots, slot{time: ts, id: id, dead: dead})
+			id++
+		}
+	}
+	sort.SliceStable(slots, func(i, k int) bool { return slots[i].time < slots[k].time })
+	want := make([]int, 0, len(slots))
+	for _, s := range slots {
+		if !s.dead {
+			want = append(want, s.id)
+		}
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("position %d: fired id %d, want %d (same-time FIFO broken)", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestMillionEventOracle pushes 1e6 randomly-timed events through the
+// hand-rolled heap and diffs the pop sequence bit-for-bit against a
+// sort-based oracle over the same (time, seq) pairs. Any heap invariant
+// bug — sift direction, tie-break inversion, index corruption — shows
+// up as a first-divergence index.
+func TestMillionEventOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-event scale test")
+	}
+	const n = 1_000_000
+	q := New()
+	rng := simrng.New(17)
+	type rec struct {
+		time float64
+		seq  int
+	}
+	oracle := make([]rec, 0, n)
+	got := make([]rec, 0, n)
+	for i := 0; i < n; i++ {
+		// Coarse quantization forces massive tie groups alongside exact
+		// float times.
+		ts := math.Floor(rng.Float64()*1e4) / 8
+		seq := i
+		oracle = append(oracle, rec{time: ts, seq: seq})
+		q.Schedule(ts, func() { got = append(got, rec{time: q.Now(), seq: seq}) })
+	}
+	sort.SliceStable(oracle, func(i, k int) bool { return oracle[i].time < oracle[k].time })
+	for q.Step() {
+	}
+	if len(got) != n {
+		t.Fatalf("popped %d events, want %d", len(got), n)
+	}
+	for i := range oracle {
+		if got[i] != oracle[i] {
+			t.Fatalf("pop %d: got (t=%v seq=%d), oracle (t=%v seq=%d)",
+				i, got[i].time, got[i].seq, oracle[i].time, oracle[i].seq)
+		}
+	}
+}
+
+// TestScheduleStepAllocBudget pins the PR-5 allocation budget at scale:
+// a schedule+step cycle against a large pending set stays at 1 alloc/op
+// (the *Event handle itself).
+func TestScheduleStepAllocBudget(t *testing.T) {
+	q := New()
+	rng := simrng.New(5)
+	for i := 0; i < 100_000; i++ {
+		q.Schedule(rng.Float64()*1e6, func() {})
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		q.Schedule(q.Now()+rng.Float64()*1e6, func() {})
+		q.Step()
+	})
+	if avg > 1 {
+		t.Errorf("schedule+step at 100k pending: %.2f allocs/op, budget is 1 (the Event handle)", avg)
+	}
+}

@@ -34,6 +34,7 @@ type DesignAblationRow struct {
 //   - warm-data hysteresis (vs churn-prone pure efficiency ordering),
 //   - the warm-up investment pass (vs plain fair-share remote IO),
 //   - work-conserving throttling (vs strict allocation enforcement).
+//
 // silod:sim-root
 func AblationDesignChoices(o Options) (*DesignAblationResult, error) {
 	jobs, err := traceFor(o, 96, 480, 24*unit.Hour)
@@ -57,7 +58,7 @@ func AblationDesignChoices(o Options) (*DesignAblationResult, error) {
 		pol := &policy.FIFO{Storage: v.alloc}
 		cfg := sim.Config{
 			Cluster: cl, Policy: pol, System: policy.SiloD,
-			Engine: sim.Fluid, Seed: o.seed(),
+			Engine: sim.Fluid, Seed: o.seed(), FullResolve: o.FullResolve,
 		}
 		if v.mutate != nil {
 			v.mutate(&cfg)
@@ -114,7 +115,7 @@ func AblationEngineCost(o Options) (*EngineCostResult, error) {
 			return nil, err
 		}
 		return sim.Run(sim.Config{Cluster: cl, Policy: pol, System: policy.SiloD,
-			Engine: engines[i], Seed: o.seed()}, jobs)
+			Engine: engines[i], Seed: o.seed(), FullResolve: o.FullResolve}, jobs)
 	})
 	if err != nil {
 		return nil, err
@@ -150,12 +151,13 @@ func AblationPrefetch(o Options) (*PrefetchResult, error) {
 	cl.Cache *= 4
 	arms, err := mapArms(o, 2, func(i int) (*sim.Result, error) {
 		if i == 0 {
-			return runOne(policy.FIFOKind, policy.SiloD, cl, jobs, o.seed(), nil)
+			return runOne(o, policy.FIFOKind, policy.SiloD, cl, jobs, nil)
 		}
 		pol := &policy.FIFO{Storage: policy.GreedyAllocator{PrefetchQueued: true}}
 		return sim.Run(sim.Config{
 			Cluster: cl, Policy: pol, System: policy.SiloD,
 			Engine: sim.Fluid, Seed: o.seed(), EnablePrefetch: true,
+			FullResolve: o.FullResolve,
 		}, jobs)
 	})
 	if err != nil {
@@ -209,7 +211,7 @@ func GavelObjectives(o Options) (*ObjectivesResult, error) {
 		pol := &policy.Gavel{Enhanced: true, Objective: obj}
 		r, err := sim.Run(sim.Config{
 			Cluster: cl, Policy: pol, System: policy.SiloD,
-			Engine: sim.Fluid, Seed: o.seed(),
+			Engine: sim.Fluid, Seed: o.seed(), FullResolve: o.FullResolve,
 		}, jobs)
 		if err != nil {
 			return ObjectiveRow{}, fmt.Errorf("objective %v: %w", obj, err)
@@ -294,11 +296,11 @@ func MixedCluster(o Options) (*MixedClusterResult, error) {
 			// simulator derives that from Curriculum != nil; run the
 			// inner policy directly so everything is treated regular.
 			return sim.Run(sim.Config{Cluster: cl, Policy: inner, System: policy.SiloD,
-				Engine: sim.Batch, Seed: o.seed()}, trace)
+				Engine: sim.Batch, Seed: o.seed(), FullResolve: o.FullResolve}, trace)
 		}
 		fw := (&core.Framework{Policy: inner}).AsPolicy()
 		return sim.Run(sim.Config{Cluster: cl, Policy: fw, System: policy.SiloD,
-			Engine: sim.Batch, Seed: o.seed()}, trace)
+			Engine: sim.Batch, Seed: o.seed(), FullResolve: o.FullResolve}, trace)
 	}
 	arms, err := mapArms(o, 2, func(i int) (*sim.Result, error) {
 		return run(i == 0)

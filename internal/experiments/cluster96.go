@@ -28,7 +28,7 @@ func Figure2(o Options) (*Figure2Result, error) {
 		return nil, err
 	}
 	cl := core.Cluster{GPUs: 400, Cache: 0, RemoteIO: unit.GBpsOf(1000)}
-	res, err := runOne(policy.FIFOKind, policy.Alluxio, cl, jobs, o.seed(), nil)
+	res, err := runOne(o, policy.FIFOKind, policy.Alluxio, cl, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func Figure10(o Options) (*Figure10Result, error) {
 		return nil, err
 	}
 	cl := clusterPreset(96)
-	results, err := runSystems(o, policy.FIFOKind, cl, jobs, o.seed(), nil)
+	results, err := runSystems(o, policy.FIFOKind, cl, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +217,7 @@ func Figure10Fidelity(o Options) (*FidelityResult, error) {
 		}
 		r, err := sim.Run(sim.Config{
 			Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
+			FullResolve: o.FullResolve,
 		}, jobs)
 		if err != nil {
 			return nil, fmt.Errorf("fidelity %v/%v: %w", cs, eng, err)

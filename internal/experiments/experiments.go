@@ -35,6 +35,12 @@ type Options struct {
 	Sequential bool
 	// Workers bounds the arm worker pool (0 = GOMAXPROCS).
 	Workers int
+	// FullResolve disables the engines' incremental fast paths (solve
+	// memo, warm-started bisections, rate memo) so every round re-solves
+	// from scratch. Outputs are byte-identical either way — the identity
+	// tests diff the two modes — so this exists for those gates and for
+	// timing the unoptimized reference.
+	FullResolve bool
 }
 
 func (o Options) seed() int64 {
@@ -81,19 +87,22 @@ func clusterPreset(gpus int) core.Cluster {
 }
 
 // runOne builds the policy for (scheduler, cache system) and runs the
-// fluid simulator over the trace.
-func runOne(k policy.SchedulerKind, cs policy.CacheSystem, cl core.Cluster,
-	jobs []workload.JobSpec, seed int64, mutate func(*sim.Config)) (*sim.Result, error) {
+// fluid simulator over the trace. Options carries the seed and the
+// FullResolve reference-mode flag (identity tests diff the two modes).
+func runOne(o Options, k policy.SchedulerKind, cs policy.CacheSystem, cl core.Cluster,
+	jobs []workload.JobSpec, mutate func(*sim.Config)) (*sim.Result, error) {
+	seed := o.seed()
 	pol, err := policy.Build(k, cs, seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg := sim.Config{
-		Cluster: cl,
-		Policy:  pol,
-		System:  cs,
-		Engine:  sim.Fluid,
-		Seed:    seed,
+		Cluster:     cl,
+		Policy:      pol,
+		System:      cs,
+		Engine:      sim.Fluid,
+		Seed:        seed,
+		FullResolve: o.FullResolve,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -111,10 +120,10 @@ type SystemResults map[policy.CacheSystem]*sim.Result
 // runSystems executes the trace under every cache system with the given
 // scheduler, one parallel arm per system.
 func runSystems(o Options, k policy.SchedulerKind, cl core.Cluster, jobs []workload.JobSpec,
-	seed int64, mutate func(*sim.Config)) (SystemResults, error) {
+	mutate func(*sim.Config)) (SystemResults, error) {
 	systems := policy.AllCacheSystems()
 	results, err := mapArms(o, len(systems), func(i int) (*sim.Result, error) {
-		return runOne(k, systems[i], cl, jobs, seed, mutate)
+		return runOne(o, k, systems[i], cl, jobs, mutate)
 	})
 	if err != nil {
 		return nil, err

@@ -42,7 +42,7 @@ func Figure12(o Options) (*Figure12Result, error) {
 	kinds := policy.AllSchedulerKinds()
 	systems := policy.AllCacheSystems()
 	flat, err := mapArms(o, len(kinds)*len(systems), func(i int) (*sim.Result, error) {
-		return runOne(kinds[i/len(systems)], systems[i%len(systems)], cl, jobs, o.seed(), nil)
+		return runOne(o, kinds[i/len(systems)], systems[i%len(systems)], cl, jobs, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -135,7 +135,7 @@ func Figure14a(o Options) (*Figure14aResult, error) {
 	flat, err := mapArms(o, len(points)*len(systems), func(i int) (*sim.Result, error) {
 		cl := clusterPreset(400)
 		cl.RemoteIO = unit.GBpsOf(points[i/len(systems)])
-		return runOne(policy.FIFOKind, systems[i%len(systems)], cl, jobs, o.seed(), nil)
+		return runOne(o, policy.FIFOKind, systems[i%len(systems)], cl, jobs, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -192,7 +192,7 @@ func Figure14b(o Options) (*Figure14bResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return runOne(policy.GavelKind, systems[i%len(systems)], clusterPreset(400), jobs, o.seed(), nil)
+		return runOne(o, policy.GavelKind, systems[i%len(systems)], clusterPreset(400), jobs, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -249,7 +249,7 @@ func Figure15(o Options) (*Figure15Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return runOne(kinds[i%len(kinds)], policy.SiloD, clusterPreset(96), jobs, o.seed(), nil)
+		return runOne(o, kinds[i%len(kinds)], policy.SiloD, clusterPreset(96), jobs, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -293,7 +293,7 @@ func AblationNoIO(o Options) (*AblationNoIOResult, error) {
 	cl := clusterPreset(96)
 	mutates := []func(*sim.Config){nil, func(c *sim.Config) { c.DisableIOControl = true }}
 	arms, err := mapArms(o, len(mutates), func(i int) (*sim.Result, error) {
-		return runOne(policy.GavelKind, policy.SiloD, cl, jobs, o.seed(), mutates[i])
+		return runOne(o, policy.GavelKind, policy.SiloD, cl, jobs, mutates[i])
 	})
 	if err != nil {
 		return nil, err

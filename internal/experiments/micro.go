@@ -122,7 +122,7 @@ func Table6(o Table6Options) (*Table6Result, error) {
 		}
 		r, err := sim.Run(sim.Config{
 			Cluster: cl, Policy: pol, System: cs, Engine: eng, Seed: o.seed(),
-			MetricsInterval: 20 * unit.Minute,
+			MetricsInterval: 20 * unit.Minute, FullResolve: o.FullResolve,
 		}, jobs)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %v/%v: %w", cs, eng, err)
@@ -249,7 +249,7 @@ func Figure4(o Options) (*Figure4Result, error) {
 			a, b = "imagenet22k-0", "imagenet22k-1"
 		}
 		jobs := []workload.JobSpec{mkJob("job-0", a), mkJob("job-1", b)}
-		return runOne(k, cs, cl, jobs, o.seed(), func(c *sim.Config) {
+		return runOne(o, k, cs, cl, jobs, func(c *sim.Config) {
 			c.MetricsInterval = 30 * unit.Minute
 		})
 	}

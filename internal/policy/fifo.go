@@ -27,7 +27,15 @@ func admitGangs(grants map[string]int, totalGPUs int, ordered []core.JobView) {
 //
 // silod:pure
 func runningFirst(ordered []core.JobView) []core.JobView {
-	out := make([]core.JobView, 0, len(ordered))
+	return runningFirstInto(nil, ordered)
+}
+
+// runningFirstInto is runningFirst with a caller-owned destination
+// buffer (reused via dst[:0]).
+//
+// silod:pure
+func runningFirstInto(dst []core.JobView, ordered []core.JobView) []core.JobView {
+	out := dst[:0]
 	for _, j := range ordered {
 		if j.Running {
 			out = append(out, j)
@@ -45,7 +53,15 @@ func runningFirst(ordered []core.JobView) []core.JobView {
 //
 // silod:pure
 func admittedViews(jobs []core.JobView, grants map[string]int) []core.JobView {
-	out := make([]core.JobView, 0, len(grants))
+	return admittedViewsInto(nil, jobs, grants)
+}
+
+// admittedViewsInto is admittedViews with a caller-owned destination
+// buffer (reused via dst[:0]).
+//
+// silod:pure
+func admittedViewsInto(dst []core.JobView, jobs []core.JobView, grants map[string]int) []core.JobView {
+	out := dst[:0]
 	for _, j := range jobs {
 		if grants[j.ID] > 0 {
 			out = append(out, j)
@@ -64,8 +80,12 @@ type FIFO struct {
 	Storage StorageAllocator
 
 	// scratch's maps are recycled across Assign calls; each returned
-	// Assignment is valid only until the next Assign.
-	scratch core.Assignment
+	// Assignment is valid only until the next Assign. The view buffers
+	// below are likewise per-call scratch.
+	scratch  core.Assignment
+	sortBuf  []core.JobView
+	ordBuf   []core.JobView
+	admitBuf []core.JobView
 }
 
 // Name implements core.Policy.
@@ -79,9 +99,11 @@ func (f *FIFO) Name() string { return "fifo+" + f.Storage.Name() }
 // silod:pure assume=StorageAllocator,QueueAwareAllocator
 func (f *FIFO) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
 	a := f.scratch.Reset()
-	ordered := runningFirst(core.SortJobs(jobs))
-	admitGangs(a.GPUs, c.GPUs, ordered)
-	running := admittedViews(jobs, a.GPUs)
+	f.sortBuf = core.SortJobsInto(f.sortBuf, jobs)
+	f.ordBuf = runningFirstInto(f.ordBuf, f.sortBuf)
+	admitGangs(a.GPUs, c.GPUs, f.ordBuf)
+	f.admitBuf = admittedViewsInto(f.admitBuf, jobs, a.GPUs)
+	running := f.admitBuf
 	if qa, ok := f.Storage.(QueueAwareAllocator); ok {
 		var queued []core.JobView
 		for _, j := range jobs {

@@ -40,6 +40,28 @@ type Gavel struct {
 	// scratch's maps are recycled across Assign calls; each returned
 	// Assignment is valid only until the next Assign.
 	scratch core.Assignment
+
+	// solver carries the incremental max-min state across rounds: the
+	// exact-match memo of the storage program and the warm-start λ
+	// hints for both bisections. It never changes what an Assign
+	// returns, only how much of the previous round's work is redone.
+	solver MaxMinSolver
+
+	// Admission-order scratch (see orderViews): per-job scores are
+	// computed once and an int permutation is sorted instead of
+	// re-evaluating the key per comparison and swapping JobView structs.
+	ordScore []float64
+	ordIdx   []int
+	ordBuf   []core.JobView
+	admitBuf []core.JobView
+}
+
+// SetFullResolve implements core.FullResolver: true disables the
+// solver's memo and warm-start hints so every round re-solves the full
+// max-min programs — the byte-identity reference.
+func (g *Gavel) SetFullResolve(full bool) {
+	g.solver.Cold = full
+	g.solver.Reset()
 }
 
 // GavelObjective enumerates the Gavel scheduling goals implemented here.
@@ -135,17 +157,10 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 		return g.assignThroughput(c, jobs)
 	}
 	a := g.scratch.Reset()
-	ordered := append([]core.JobView(nil), jobs...)
-	key := g.orderKey(now)
-	sort.Slice(ordered, func(i, j int) bool {
-		di, dj := key(ordered[i]), key(ordered[j])
-		if di != dj {
-			return di < dj
-		}
-		return ordered[i].ID < ordered[j].ID
-	})
+	ordered := g.orderViews(jobs, g.orderKey(now))
 	admitGangs(a.GPUs, c.GPUs, ordered)
-	running := admittedViews(jobs, a.GPUs)
+	g.admitBuf = admittedViewsInto(g.admitBuf, jobs, a.GPUs)
+	running := g.admitBuf
 	if !g.Enhanced {
 		g.Storage.AllocateStorage(c, running, &a)
 		return a
@@ -158,9 +173,9 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 	// only consumed by running jobs, so the bandwidth program (an exact
 	// bisection on the Eq. 9 objective) runs over the running set
 	// against the planned quotas.
-	allocs := MaxMinStorage(c.Cache, c.RemoteIO, jobs)
+	allocs := g.solver.Storage(c.Cache, c.RemoteIO, jobs)
 	a.CacheQuota = DatasetQuotas(jobs, allocs)
-	grants := MaxMinBandwidth(c, c.RemoteIO, running, a.CacheQuota)
+	grants := g.solver.Bandwidth(c, c.RemoteIO, running, a.CacheQuota)
 	leftover := float64(c.RemoteIO)
 	for _, j := range running {
 		bw := grants[j.ID]
@@ -190,17 +205,10 @@ func (g *Gavel) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.
 // silod:pure assume=StorageAllocator
 func (g *Gavel) assignThroughput(c core.Cluster, jobs []core.JobView) core.Assignment {
 	a := g.scratch.Reset()
-	ordered := append([]core.JobView(nil), jobs...)
-	key := throughputKey(c, g.Enhanced, len(jobs))
-	sort.Slice(ordered, func(i, j int) bool {
-		di, dj := key(ordered[i]), key(ordered[j])
-		if di != dj {
-			return di < dj
-		}
-		return ordered[i].ID < ordered[j].ID
-	})
+	ordered := g.orderViews(jobs, throughputKey(c, g.Enhanced, len(jobs)))
 	admitGangs(a.GPUs, c.GPUs, ordered)
-	running := admittedViews(jobs, a.GPUs)
+	g.admitBuf = admittedViewsInto(g.admitBuf, jobs, a.GPUs)
+	running := g.admitBuf
 	if !g.Enhanced {
 		g.Storage.AllocateStorage(c, running, &a)
 		return a
@@ -237,6 +245,37 @@ func throughputKey(c core.Cluster, enhanced bool, njobs int) func(core.JobView) 
 		}
 		return -score // ascending sort; higher score first
 	}
+}
+
+// orderViews returns jobs sorted ascending by (key, ID). The key is
+// evaluated once per job — not once per comparison — and the sort moves
+// an int permutation instead of JobView structs; because the comparator
+// is a strict total order (score ties fall to the unique job ID), the
+// sorted permutation is unique, so the result is byte-identical to
+// sorting the views directly with per-comparison key calls. The
+// returned slice is scratch, valid until the next orderViews call.
+//
+// silod:pure
+func (g *Gavel) orderViews(jobs []core.JobView, key func(core.JobView) float64) []core.JobView {
+	g.ordScore = g.ordScore[:0]
+	g.ordIdx = g.ordIdx[:0]
+	for i, j := range jobs {
+		g.ordScore = append(g.ordScore, key(j))
+		g.ordIdx = append(g.ordIdx, i)
+	}
+	scores, idx := g.ordScore, g.ordIdx
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := scores[idx[a]], scores[idx[b]]
+		if da != db {
+			return da < db
+		}
+		return jobs[idx[a]].ID < jobs[idx[b]].ID
+	})
+	g.ordBuf = g.ordBuf[:0]
+	for _, i := range idx {
+		g.ordBuf = append(g.ordBuf, jobs[i])
+	}
+	return g.ordBuf
 }
 
 // orderKey returns the GPU-admission sort key for the time-dependent

@@ -46,7 +46,135 @@ type StorageAlloc struct {
 // byte of cache on dataset D saves Σ_{j∈D} t_j/d bytes/s of bandwidth —
 // cache therefore goes to datasets in decreasing order of that ratio,
 // and feasibility reduces to a single bandwidth comparison.
+//
+// MaxMinStorage is the cold reference: every call solves from scratch.
+// Long-lived callers (Gavel) hold a MaxMinSolver, which memoizes the
+// whole program on its true inputs and warm-starts the bisections while
+// producing byte-identical allocations.
 func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.JobView) map[string]StorageAlloc {
+	var s MaxMinSolver
+	s.Cold = true
+	return s.Storage(totalCache, totalIO, jobs)
+}
+
+// storageSig is the relevance projection of one job into the storage
+// program: the only JobView fields solveStorage reads. Two job lists
+// with equal signatures produce byte-identical allocations, which is
+// what the solver's exact-match memo rests on.
+type storageSig struct {
+	id      string
+	dataset string
+	size    unit.Bytes
+	cached  unit.Bytes
+	profile estimator.JobProfile
+}
+
+// lambdaWarm carries one progressive-filling round's converged λ from
+// the previous solve: the seed for the next warm-started bisection.
+type lambdaWarm struct {
+	// sig is the round's dataset-group structure (keys + member
+	// counts). A churned group invalidates the hint — the group-level
+	// invalidation rule — because a reshaped program's λ can land
+	// anywhere; an unchanged structure drifts slowly and the recorded
+	// drift sizes the bracket.
+	sig    uint64
+	lambda float64
+	drift  float64
+	ok     bool
+}
+
+// MaxMinSolver is the incremental façade over the max-min storage and
+// bandwidth programs. It keeps two kinds of state between solves:
+//
+//   - an exact-match memo of the last storage solve keyed on the
+//     relevance projection of its inputs (storageSig) — when no
+//     relevant field changed, the previous allocation IS the answer
+//     (solveStorage is a pure function), so the whole program is
+//     skipped;
+//   - per-round warm-start hints (lambdaWarm) that seed the bisections
+//     with the previous converged λ. Warm probes are evaluated with
+//     the exact same feasibility test on the current inputs; verdicts
+//     for bracket-excluded mids are deduced by monotonicity, so the
+//     bisection trajectory — and the returned λ — matches the cold
+//     run bit for bit.
+//
+// The zero value is a valid cold-start solver. Cold forces full
+// re-solves (the byte-identity reference used by the gates and by the
+// engines' full-resolve mode).
+type MaxMinSolver struct {
+	Cold bool
+
+	memoOK    bool
+	memoCache unit.Bytes
+	memoIO    unit.Bandwidth
+	memoSigs  []storageSig
+	memoOut   map[string]StorageAlloc
+
+	hints  []lambdaWarm
+	bwHint lambdaWarm
+
+	sigBuf []storageSig
+}
+
+// Reset drops all memoized state; the next solves run cold.
+func (s *MaxMinSolver) Reset() {
+	s.memoOK = false
+	s.memoOut = nil
+	s.hints = s.hints[:0]
+	s.bwHint = lambdaWarm{}
+}
+
+// Storage returns the max-min storage allocation for jobs. The returned
+// map is owned by the solver: treat it as read-only and valid until the
+// next Storage call. The memo fast path below is byte-identical to a
+// full solve only while solveStorage stays a pure function of
+// (totalCache, totalIO, the storageSig projection of jobs) — which the
+// lint machinery checks via the annotation on solveStorage.
+//
+// silod:pure-requires: (*MaxMinSolver).solveStorage
+func (s *MaxMinSolver) Storage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.JobView) map[string]StorageAlloc {
+	s.sigBuf = s.sigBuf[:0]
+	for _, j := range jobs {
+		s.sigBuf = append(s.sigBuf, storageSig{
+			id: j.ID, dataset: j.DatasetKey,
+			size: j.DatasetSize, cached: j.CachedBytes,
+			profile: j.Profile,
+		})
+	}
+	if !s.Cold && s.memoOK && s.memoCache == totalCache && s.memoIO == totalIO && sigsEqual(s.sigBuf, s.memoSigs) {
+		return s.memoOut
+	}
+	out := s.solveStorage(totalCache, totalIO, jobs)
+	s.memoOK = true
+	s.memoCache = totalCache
+	s.memoIO = totalIO
+	s.memoSigs = append(s.memoSigs[:0], s.sigBuf...)
+	s.memoOut = out
+	return out
+}
+
+// sigsEqual reports element-wise equality of two projections.
+//
+// silod:pure
+func sigsEqual(a, b []storageSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveStorage runs the progressive-filling max-min program. It is a
+// pure function of its arguments (no clock, no RNG, no map-order
+// dependence): the solver's exact-match memo and the engines'
+// delta-aware solve skip both rest on this annotation holding.
+//
+// silod:pure
+func (s *MaxMinSolver) solveStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.JobView) map[string]StorageAlloc {
 	out := make(map[string]StorageAlloc, len(jobs))
 	if len(jobs) == 0 {
 		return out
@@ -73,9 +201,10 @@ func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.Jo
 	remCache := float64(totalCache)
 	remIO := float64(totalIO)
 	// Progressive filling: at most len(jobs) rounds.
-	for len(active) > 0 {
+	for round := 0; len(active) > 0; round++ {
 		probe := newLambdaProbe(active)
-		lambda := probe.maxFeasibleLambda(remCache, remIO)
+		lambda := probe.maxFeasibleLambda(remCache, remIO, s.roundHint(round, probe))
+		s.storeHint(round, probe, lambda)
 		alloc := probe.allocate(remCache, remIO, lambda)
 		// Jobs capped at f* under this lambda are saturated: freeze them.
 		var next []storageJob
@@ -109,12 +238,68 @@ func MaxMinStorage(totalCache unit.Bytes, totalIO unit.Bandwidth, jobs []core.Jo
 	return out
 }
 
+// roundHint returns the warm-start hint for one progressive-filling
+// round, or nil when solving cold, the round is new, or the round's
+// group structure changed since the hint was recorded.
+//
+// silod:pure
+func (s *MaxMinSolver) roundHint(round int, p *lambdaProbe) *lambdaWarm {
+	if s.Cold || round >= len(s.hints) {
+		return nil
+	}
+	h := &s.hints[round]
+	if !h.ok || h.sig != p.groupSig() {
+		return nil
+	}
+	return h
+}
+
+// storeHint records a round's converged λ (and the observed drift from
+// the previous hint) for the next solve.
+//
+// silod:pure
+func (s *MaxMinSolver) storeHint(round int, p *lambdaProbe, lambda float64) {
+	if s.Cold {
+		return
+	}
+	for len(s.hints) <= round {
+		s.hints = append(s.hints, lambdaWarm{})
+	}
+	h := &s.hints[round]
+	drift := warmDrift(h, lambda)
+	*h = lambdaWarm{sig: p.groupSig(), lambda: lambda, drift: drift, ok: lambda > 0}
+}
+
+// warmDrift sizes the next warm bracket from how far λ moved since the
+// previous solve: four times the observed relative movement, clamped to
+// [1e-3, 0.5]. A stale or first-time hint gets the widest bracket.
+//
+// silod:pure
+func warmDrift(prev *lambdaWarm, lambda float64) float64 {
+	if prev == nil || !prev.ok || prev.lambda <= 0 || lambda <= 0 {
+		return 0.5
+	}
+	d := 4 * math.Abs(lambda-prev.lambda) / prev.lambda
+	if d < 1e-3 {
+		d = 1e-3
+	}
+	if d > 0.5 {
+		d = 0.5
+	}
+	return d
+}
+
 // probeGroup is one dataset group inside a lambdaProbe. Membership,
 // size, and the hysteresis fraction are lambda-invariant; rate and
 // cache are recomputed per probe.
 type probeGroup struct {
-	size    float64 // dataset size d
-	eff     float64 // max effective-cached fraction among members
+	size float64 // dataset size d
+	eff  float64 // max effective-cached fraction among members
+	// maxSize and hyst are the λ-invariant factors of the scan score
+	// rate/max(size,1)·(1+0.5·eff), precomputed once per probe so the
+	// per-λ sort touches only flat slices.
+	maxSize float64 // math.Max(size, 1)
+	hyst    float64 // 1 + 0.5·eff
 	members []int
 	rate    float64 // Σ targets of jobs in the group (per probe)
 	cache   float64 // cache granted to the group (per probe)
@@ -126,39 +311,79 @@ type probeGroup struct {
 // generation alone, so they are built once and shared by every lambda
 // the bisection probes. Each probe then only refreshes the per-group
 // target rates, re-sorts the scan order, and sums the required
-// bandwidth — no per-probe allocation.
+// bandwidth — no per-probe allocation. Groups live in a flat slice
+// indexed in first-encounter order; the per-λ sort compares precomputed
+// scores through an int permutation, so the comparator performs no map
+// lookups and no string compares except on exact score ties.
 type lambdaProbe struct {
 	jobs    []storageJob
 	targets []float64
-	keys    []string // first-encounter order; the sort seed of every probe
-	order   []string // scratch: keys re-sorted by bandwidth-saved-per-byte
-	groups  map[string]*probeGroup
+	keys    []string // group keys, first-encounter order == group index order
+	groupOf []int    // job index -> group index
+	groups  []probeGroup
+	order   []int          // scratch: group indices re-sorted by bandwidth-saved-per-byte
+	scores  []float64      // scratch: per-group scan score at the current λ
 	allocs  []StorageAlloc // scratch for allocate
 }
 
 // newLambdaProbe builds the lambda-invariant state for one round.
+//
+// silod:pure
 func newLambdaProbe(jobs []storageJob) *lambdaProbe {
 	p := &lambdaProbe{
 		jobs:    jobs,
 		targets: make([]float64, len(jobs)),
-		groups:  make(map[string]*probeGroup),
-		allocs:  make([]StorageAlloc, len(jobs)),
+		groupOf: make([]int, len(jobs)),
 	}
+	index := make(map[string]int, len(jobs))
 	for i, sj := range jobs {
 		key := sj.view.DatasetKey
-		g, ok := p.groups[key]
+		gi, ok := index[key]
 		if !ok {
-			g = &probeGroup{size: float64(sj.view.DatasetSize)}
-			p.groups[key] = g
+			gi = len(p.groups)
+			index[key] = gi
+			p.groups = append(p.groups, probeGroup{size: float64(sj.view.DatasetSize)})
 			p.keys = append(p.keys, key)
 		}
+		g := &p.groups[gi]
 		if f := float64(sj.view.CachedBytes) / math.Max(float64(sj.view.DatasetSize), 1); f > g.eff {
 			g.eff = f
 		}
 		g.members = append(g.members, i)
+		p.groupOf[i] = gi
 	}
-	p.order = make([]string, len(p.keys))
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		g.maxSize = math.Max(g.size, 1)
+		g.hyst = 1 + 0.5*g.eff
+	}
+	p.order = make([]int, len(p.groups))
+	for gi := range p.order {
+		p.order[gi] = gi
+	}
+	p.scores = make([]float64, len(p.groups))
+	p.allocs = make([]StorageAlloc, len(jobs))
 	return p
+}
+
+// groupSig hashes the probe's dataset-group structure (FNV-1a over
+// group keys and member counts): the invalidation key for warm-start
+// hints.
+//
+// silod:pure
+func (p *lambdaProbe) groupSig() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for gi, key := range p.keys {
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint64(key[i])) * prime64
+		}
+		h = (h ^ uint64(len(p.groups[gi].members))) * prime64
+	}
+	return h
 }
 
 // split computes every job's target throughput min(lambda·perfEqual,
@@ -170,29 +395,56 @@ func newLambdaProbe(jobs []storageJob) *lambdaProbe {
 //
 // silod:hotpath — runs ~60 times per bisection; everything it touches
 // is probe-owned scratch.
+//
+// silod:pure
 func (p *lambdaProbe) split(remCache, lambda float64) {
-	for _, g := range p.groups {
-		g.rate = 0
+	for gi := range p.groups {
+		p.groups[gi].rate = 0
 	}
 	for i, sj := range p.jobs {
 		t := math.Min(lambda*sj.perfEqual, float64(sj.view.Profile.IdealThroughput))
 		p.targets[i] = t
-		p.groups[sj.view.DatasetKey].rate += t
+		p.groups[p.groupOf[i]].rate += t
 	}
-	copy(p.order, p.keys)
-	order := p.order
-	sort.Slice(order, func(a, b int) bool { // silod:alloc sort.Slice boxes its slice and allocates the comparator closure (2 allocs, amortized across the whole bisection)
-		ga, gb := p.groups[order[a]], p.groups[order[b]]
-		ea := ga.rate / math.Max(ga.size, 1) * (1 + 0.5*ga.eff)
-		eb := gb.rate / math.Max(gb.size, 1) * (1 + 0.5*gb.eff)
-		if ea != eb {
-			return ea > eb
+	// The scan score has the exact operation order of the historical
+	// per-comparison form rate/max(size,1)·(1+0.5·eff); scores are
+	// total-ordered (ties fall to the unique group key), so the sorted
+	// permutation is the same whichever sort visits them.
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		p.scores[gi] = g.rate / g.maxSize * g.hyst
+	}
+	order, scores, keys := p.order, p.scores, p.keys
+	// order persists across λ probes. The comparator (score desc, key
+	// asc) is a strict total order — score ties fall to the unique
+	// group key — so the sorted permutation is unique: if the previous
+	// probe's order is still sorted under the current scores (the
+	// common case once the bisection narrows), it already IS the
+	// permutation any sort would produce, and the O(n log n) re-sort is
+	// skipped. Otherwise the sort's output is that same unique
+	// permutation no matter what input order it starts from.
+	sorted := true
+	for k := 1; k < len(order); k++ {
+		ga, gb := order[k], order[k-1]
+		ea, eb := scores[ga], scores[gb]
+		if eb < ea || (ea == eb && keys[ga] < keys[gb]) {
+			sorted = false
+			break
 		}
-		return order[a] < order[b]
-	})
+	}
+	if !sorted {
+		sort.Slice(order, func(a, b int) bool { // silod:alloc sort.Slice boxes its slice and allocates the comparator closure (2 allocs, amortized across the whole bisection)
+			ga, gb := order[a], order[b]
+			ea, eb := scores[ga], scores[gb]
+			if ea != eb {
+				return ea > eb
+			}
+			return keys[ga] < keys[gb]
+		})
+	}
 	cacheLeft := remCache
-	for _, key := range order {
-		g := p.groups[key]
+	for _, gi := range order {
+		g := &p.groups[gi]
 		give := math.Min(g.size, cacheLeft)
 		g.cache = give
 		cacheLeft -= give
@@ -209,11 +461,12 @@ func (p *lambdaProbe) split(remCache, lambda float64) {
 // boundary — is deterministic.
 //
 // silod:hotpath
+// silod:pure
 func (p *lambdaProbe) requiredIO() float64 {
 	var total float64
-	for _, key := range p.keys {
-		g := p.groups[key]
-		miss := 1 - g.cache/math.Max(g.size, 1)
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		miss := 1 - g.cache/g.maxSize
 		if miss < 0 {
 			miss = 0
 		}
@@ -227,6 +480,7 @@ func (p *lambdaProbe) requiredIO() float64 {
 // feasible reports whether targets at lambda fit both budgets.
 //
 // silod:hotpath
+// silod:pure
 func (p *lambdaProbe) feasible(remCache, remIO, lambda float64) bool {
 	p.split(remCache, lambda)
 	return p.requiredIO() <= remIO*(1+1e-9)+1e-6
@@ -237,11 +491,13 @@ func (p *lambdaProbe) feasible(remCache, remIO, lambda float64) bool {
 // until the probe's next allocate call.
 //
 // silod:hotpath — fills the probe's scratch allocs slice in place.
+//
+// silod:pure
 func (p *lambdaProbe) allocate(remCache, remIO, lambda float64) []StorageAlloc {
 	p.split(remCache, lambda)
-	for _, key := range p.keys {
-		g := p.groups[key]
-		miss := 1 - g.cache/math.Max(g.size, 1)
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		miss := 1 - g.cache/g.maxSize
 		if miss < 0 {
 			miss = 0
 		}
@@ -256,10 +512,18 @@ func (p *lambdaProbe) allocate(remCache, remIO, lambda float64) []StorageAlloc {
 	return p.allocs
 }
 
-// maxFeasibleLambda bisects on the normalized rate.
+// maxFeasibleLambda bisects on the normalized rate. The trajectory is
+// the classic [0, hi] halving; a warm hint only changes HOW each mid's
+// verdict is obtained, never the verdict itself: two probes around the
+// previous λ establish evaluated feasible/infeasible bounds on the
+// CURRENT inputs, and mids outside the open interval between them take
+// the verdict monotonicity dictates while mids inside are evaluated
+// exactly as in the cold run. With a good hint the ~60 probes collapse
+// to the few mids near the answer.
 //
 // silod:hotpath
-func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64) float64 {
+// silod:pure
+func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64, warm *lambdaWarm) float64 {
 	// Upper bound: the largest f*/perfEqual ratio.
 	hi := 0.0
 	for _, sj := range p.jobs {
@@ -275,9 +539,43 @@ func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64) float64 {
 	if p.feasible(remCache, remIO, hi) {
 		return hi
 	}
+	// knownFeas/knownInfeas are λ values whose verdicts were evaluated
+	// on the current inputs (λ=0 is trivially feasible, hi was just
+	// probed infeasible).
+	knownFeas, knownInfeas := 0.0, hi
+	if warm != nil && warm.lambda > 0 {
+		if c := warm.lambda * (1 - warm.drift); c > 0 && c < knownInfeas {
+			if p.feasible(remCache, remIO, c) {
+				knownFeas = c
+			} else {
+				knownInfeas = c
+			}
+		}
+		if c := warm.lambda * (1 + warm.drift); c > knownFeas && c < knownInfeas {
+			if p.feasible(remCache, remIO, c) {
+				knownFeas = c
+			} else {
+				knownInfeas = c
+			}
+		}
+	}
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
-		if p.feasible(remCache, remIO, mid) {
+		var ok bool
+		switch {
+		case mid <= knownFeas:
+			ok = true
+		case mid >= knownInfeas:
+			ok = false
+		default:
+			ok = p.feasible(remCache, remIO, mid)
+			if ok {
+				knownFeas = mid
+			} else {
+				knownInfeas = mid
+			}
+		}
+		if ok {
 			lo = mid
 		} else {
 			hi = mid
@@ -290,6 +588,8 @@ func (p *lambdaProbe) maxFeasibleLambda(remCache, remIO float64) float64 {
 // and leftover bandwidth (to unsaturated jobs) so no resource idles
 // while any job could use it. This cannot reduce any job's allocation,
 // so the max-min optimum is preserved.
+//
+// silod:pure
 func spendSlack(remCache, remIO float64, jobs []core.JobView, out map[string]StorageAlloc) {
 	if remCache < 0 {
 		remCache = 0
@@ -380,6 +680,8 @@ func spendSlack(remCache, remIO float64, jobs []core.JobView, out map[string]Sto
 // mergeSharedCache recomputes every job's Perf against the full merged
 // cache of its dataset (jobs sharing a dataset each benefit from the
 // whole dataset allocation, while the caller charges it once).
+//
+// silod:pure
 func mergeSharedCache(jobs []core.JobView, out map[string]StorageAlloc) {
 	totals := make(map[string]unit.Bytes)
 	for _, j := range jobs {
@@ -405,7 +707,23 @@ func mergeSharedCache(jobs []core.JobView, out map[string]StorageAlloc) {
 // planned-quota objective since q >= effective. The required bandwidth
 // is monotone in the normalized rate λ, so bisection is exact; leftover
 // bandwidth (from jobs capped at f*) should be spent by the caller.
+//
+// MaxMinBandwidth is the cold reference; Gavel routes through
+// MaxMinSolver.Bandwidth, whose warm-started bisection returns the same
+// grants bit for bit.
 func MaxMinBandwidth(cl core.Cluster, total unit.Bandwidth, running []core.JobView,
+	quota map[string]unit.Bytes) map[string]unit.Bandwidth {
+	var s MaxMinSolver
+	s.Cold = true
+	return s.Bandwidth(cl, total, running, quota)
+}
+
+// Bandwidth is the warm-started bandwidth program. needed(λ) is a sum
+// of terms min(λ·pe, f*)·missEff, each nondecreasing in λ, so verdict
+// deduction from evaluated bounds is exact (not merely assumed): the
+// warm run evaluates needed at the same trajectory's mids only where
+// the evaluated bracket has not already decided them.
+func (s *MaxMinSolver) Bandwidth(cl core.Cluster, total unit.Bandwidth, running []core.JobView,
 	quota map[string]unit.Bytes) map[string]unit.Bandwidth {
 	out := make(map[string]unit.Bandwidth, len(running))
 	if len(running) == 0 {
@@ -440,26 +758,62 @@ func MaxMinBandwidth(cl core.Cluster, total unit.Bandwidth, running []core.JobVi
 		}
 	}
 	needed := func(lambda float64) float64 {
-		var s float64
+		var sum float64
 		for i, j := range running {
 			t := math.Min(lambda*pe[i], float64(j.Profile.IdealThroughput))
-			s += t * missEff[i]
+			sum += t * missEff[i]
 		}
-		return s
+		return sum
 	}
 	budget := float64(total)
 	lo := 0.0
 	if needed(hi) <= budget {
 		lo = hi
 	} else {
-		for k := 0; k < 60; k++ {
-			mid := (lo + hi) / 2
-			if needed(mid) <= budget {
-				lo = mid
-			} else {
-				hi = mid
+		knownFeas, knownInfeas := 0.0, hi
+		if !s.Cold && s.bwHint.ok && s.bwHint.lambda > 0 {
+			if c := s.bwHint.lambda * (1 - s.bwHint.drift); c > 0 && c < knownInfeas {
+				if needed(c) <= budget {
+					knownFeas = c
+				} else {
+					knownInfeas = c
+				}
+			}
+			if c := s.bwHint.lambda * (1 + s.bwHint.drift); c > knownFeas && c < knownInfeas {
+				if needed(c) <= budget {
+					knownFeas = c
+				} else {
+					knownInfeas = c
+				}
 			}
 		}
+		h := hi
+		for k := 0; k < 60; k++ {
+			mid := (lo + h) / 2
+			var ok bool
+			switch {
+			case mid <= knownFeas:
+				ok = true
+			case mid >= knownInfeas:
+				ok = false
+			default:
+				ok = needed(mid) <= budget
+				if ok {
+					knownFeas = mid
+				} else {
+					knownInfeas = mid
+				}
+			}
+			if ok {
+				lo = mid
+			} else {
+				h = mid
+			}
+		}
+	}
+	if !s.Cold {
+		drift := warmDrift(&s.bwHint, lo)
+		s.bwHint = lambdaWarm{lambda: lo, drift: drift, ok: lo > 0}
 	}
 	for i, j := range running {
 		t := math.Min(lo*pe[i], float64(j.Profile.IdealThroughput))

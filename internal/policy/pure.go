@@ -51,8 +51,46 @@ func (g *Gavel) PureAssign() bool {
 	return g.Enhanced || allocatorPure(g.Storage)
 }
 
+// IgnoredViewFields implements core.DeltaAssigner. FIFO's read set is
+// admission order (SLO, Submit, ID, Running, NumGPUs) plus the vetted
+// allocators' storage inputs (Profile, DatasetKey/Size, SLO weights,
+// CachedBytes, EffectiveCached): job progress never enters, so views
+// differing only in RemainingBytes/AttainedBytes — which advance every
+// integration step — reproduce the memoized assignment exactly. The
+// claim is only as good as Assign staying pure, which the requires
+// marker ties to the machine-checked annotation; the relevance fuzz
+// test (TestIgnoredFieldsIrrelevant) cross-checks the mask itself.
+//
+// silod:pure-requires: (*FIFO).Assign
+func (f *FIFO) IgnoredViewFields() core.ViewFields {
+	return core.FieldRemainingBytes | core.FieldAttainedBytes
+}
+
+// IgnoredViewFields implements core.DeltaAssigner. The SJF score reads
+// RemainingBytes (remaining duration) but never AttainedBytes, and the
+// score order — not submit order or current running state — alone
+// decides admission.
+//
+// silod:pure-requires: (*SJF).Assign
+func (s *SJF) IgnoredViewFields() core.ViewFields {
+	return core.FieldAttainedBytes | core.FieldSubmit | core.FieldRunning
+}
+
+// IgnoredViewFields implements core.DeltaAssigner. Only the
+// TotalThroughput objective is pure (see PureAssign); its score and
+// storage greedy read capacity and cache state but never job progress.
+//
+// silod:pure-requires: (*Gavel).assignThroughput, throughputKey
+func (g *Gavel) IgnoredViewFields() core.ViewFields {
+	return core.FieldRemainingBytes | core.FieldAttainedBytes | core.FieldSubmit
+}
+
 var (
-	_ core.PureAssigner = (*FIFO)(nil)
-	_ core.PureAssigner = (*SJF)(nil)
-	_ core.PureAssigner = (*Gavel)(nil)
+	_ core.PureAssigner  = (*FIFO)(nil)
+	_ core.PureAssigner  = (*SJF)(nil)
+	_ core.PureAssigner  = (*Gavel)(nil)
+	_ core.DeltaAssigner = (*FIFO)(nil)
+	_ core.DeltaAssigner = (*SJF)(nil)
+	_ core.DeltaAssigner = (*Gavel)(nil)
+	_ core.FullResolver  = (*Gavel)(nil)
 )

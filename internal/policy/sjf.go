@@ -27,8 +27,20 @@ type SJF struct {
 	Storage StorageAllocator
 
 	// scratch's maps are recycled across Assign calls; each returned
-	// Assignment is valid only until the next Assign.
-	scratch core.Assignment
+	// Assignment is valid only until the next Assign. The buffers below
+	// are likewise per-call scratch.
+	scratch  core.Assignment
+	items    []sjfScored
+	ordBuf   []core.JobView
+	admitBuf []core.JobView
+	rankBuf  map[string]int
+}
+
+// sjfScored is one job with its Eq. 6/7 score, the unit SJF sorts.
+type sjfScored struct {
+	view      core.JobView
+	score     float64
+	wantCache unit.Bytes
 }
 
 // Name implements core.Policy.
@@ -76,29 +88,27 @@ func sjfScore(c core.Cluster, j core.JobView, enhanced bool) (score float64, wan
 // silod:pure assume=StorageAllocator
 func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.Assignment {
 	a := s.scratch.Reset()
-	type scored struct {
-		view      core.JobView
-		score     float64
-		wantCache unit.Bytes
-	}
-	items := make([]scored, 0, len(jobs))
+	items := s.items[:0]
 	for _, j := range jobs {
 		sc, want := sjfScore(c, j, s.Enhanced)
-		items = append(items, scored{j, sc, want})
+		items = append(items, sjfScored{j, sc, want})
 	}
+	s.items = items
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].score != items[j].score {
 			return items[i].score < items[j].score
 		}
 		return items[i].view.ID < items[j].view.ID
 	})
-	ordered := make([]core.JobView, len(items))
-	for i, it := range items {
-		ordered[i] = it.view
+	ordered := s.ordBuf[:0]
+	for _, it := range items {
+		ordered = append(ordered, it.view)
 	}
+	s.ordBuf = ordered
 	admitGangs(a.GPUs, c.GPUs, ordered)
 
-	running := admittedViews(jobs, a.GPUs)
+	s.admitBuf = admittedViewsInto(s.admitBuf, jobs, a.GPUs)
+	running := s.admitBuf
 	if !s.Enhanced {
 		s.Storage.AllocateStorage(c, running, &a)
 		return a
@@ -131,7 +141,12 @@ func (s *SJF) Assign(c core.Cluster, now unit.Time, jobs []core.JobView) core.As
 	// Remote IO in score order: the jobs SJF wants done first get their
 	// demand first, so their warm-up (and completion) is never gated on
 	// an equal split.
-	scoreRank := make(map[string]int, len(items))
+	if s.rankBuf == nil {
+		s.rankBuf = make(map[string]int, len(items))
+	} else {
+		clear(s.rankBuf)
+	}
+	scoreRank := s.rankBuf
 	for i, it := range items {
 		scoreRank[it.view.ID] = i
 	}

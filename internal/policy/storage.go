@@ -368,6 +368,19 @@ func allocRemoteIOFair(total unit.Bandwidth, running []core.JobView, a *core.Ass
 type QuiverAllocator struct {
 	ProfileNoise float64
 	rng          *simrng.RNG
+
+	// Scratch recycled across AllocateStorage calls: the dataset groups
+	// in first-seen order, a key→group index, and the sort permutation.
+	groups []quiverGroup
+	byKey  map[string]int
+	order  []int
+}
+
+type quiverGroup struct {
+	key        string
+	size       unit.Bytes
+	benefit    float64
+	cachedFrac float64
 }
 
 // NewQuiverAllocator returns a Quiver allocator with seeded profiling
@@ -381,28 +394,28 @@ func (q *QuiverAllocator) Name() string { return "quiver" }
 
 // AllocateStorage implements StorageAllocator.
 func (q *QuiverAllocator) AllocateStorage(c core.Cluster, running []core.JobView, a *core.Assignment) {
-	type dgroup struct {
-		key        string
-		size       unit.Bytes
-		benefit    float64
-		cachedFrac float64
+	if q.byKey == nil {
+		q.byKey = make(map[string]int)
+	} else {
+		clear(q.byKey)
 	}
-	groups := make(map[string]*dgroup)
-	var order []string
+	groups := q.groups[:0]
 	for _, j := range running {
-		g, ok := groups[j.DatasetKey]
+		gi, ok := q.byKey[j.DatasetKey]
 		if !ok {
-			g = &dgroup{key: j.DatasetKey, size: j.DatasetSize}
-			groups[j.DatasetKey] = g
-			order = append(order, j.DatasetKey)
+			gi = len(groups)
+			groups = append(groups, quiverGroup{key: j.DatasetKey, size: j.DatasetSize})
+			q.byKey[j.DatasetKey] = gi
 		}
+		g := &groups[gi]
 		g.benefit += float64(j.Profile.IdealThroughput)
 		if f := float64(j.CachedBytes) / math.Max(float64(j.DatasetSize), 1); f > g.cachedFrac {
 			g.cachedFrac = f
 		}
 	}
-	for _, key := range order {
-		g := groups[key]
+	q.groups = groups
+	for gi := range groups {
+		g := &groups[gi]
 		ratio := g.benefit / math.Max(float64(g.size), 1)
 		if q.ProfileNoise > 0 && q.rng != nil {
 			ratio *= math.Exp(q.rng.Normal(0, q.ProfileNoise))
@@ -415,21 +428,29 @@ func (q *QuiverAllocator) AllocateStorage(c core.Cluster, running []core.JobView
 		ratio *= 1 + 0.5*g.cachedFrac
 		g.benefit = ratio
 	}
+	// Index permutation sort: (benefit desc, key asc) is a strict total
+	// order (keys are unique), so any comparison sort produces the same
+	// unique permutation the historical string-slice sort did.
+	order := q.order[:0]
+	for gi := range groups {
+		order = append(order, gi)
+	}
+	q.order = order
 	sort.Slice(order, func(x, y int) bool {
-		gx, gy := groups[order[x]], groups[order[y]]
+		gx, gy := &groups[order[x]], &groups[order[y]]
 		if gx.benefit != gy.benefit {
 			return gx.benefit > gy.benefit
 		}
 		return gx.key < gy.key
 	})
 	remaining := c.Cache
-	for _, key := range order {
-		g := groups[key]
+	for _, gi := range order {
+		g := &groups[gi]
 		if g.size <= remaining {
-			a.CacheQuota[key] = g.size
+			a.CacheQuota[g.key] = g.size
 			remaining -= g.size
 		} else {
-			a.CacheQuota[key] = 0 // no partial caching
+			a.CacheQuota[g.key] = 0 // no partial caching
 		}
 	}
 }

@@ -38,6 +38,28 @@ func (p *TenantPolicy) PureAssign() bool {
 	return ok && pa.PureAssign()
 }
 
+// IgnoredViewFields implements core.DeltaAssigner: the clamp itself
+// reads tenant identity and the canonical queue order (SLO, Submit,
+// ID), so those fields are always relevant; everything else is
+// delegated to the inner policy's declaration.
+//
+// silod:pure-requires: (*TenantPolicy).Assign
+func (p *TenantPolicy) IgnoredViewFields() core.ViewFields {
+	da, ok := p.Inner.(core.DeltaAssigner)
+	if !ok {
+		return 0
+	}
+	return da.IgnoredViewFields() &^ (core.FieldTenant | core.FieldSLO | core.FieldSubmit)
+}
+
+// SetFullResolve implements core.FullResolver by forwarding to the
+// inner policy.
+func (p *TenantPolicy) SetFullResolve(full bool) {
+	if fr, ok := p.Inner.(core.FullResolver); ok {
+		fr.SetFullResolve(full)
+	}
+}
+
 // Assign implements core.Policy. Purity is inherited: the clamp
 // itself is a pure function of the inner assignment and the (static
 // during a run) registry, which is what PureAssign's delegation to

@@ -163,41 +163,92 @@ type Demand struct {
 // share algorithm for remote IO").
 func FairShare(capacity unit.Bandwidth, demands []Demand) map[string]unit.Bandwidth {
 	out := make(map[string]unit.Bandwidth, len(demands))
+	var d Divider
+	grants := d.FairShareInto(nil, capacity, demands)
+	for i, dm := range demands {
+		out[dm.JobID] = grants[i]
+	}
+	return out
+}
+
+// Divider computes the same divisions as FairShare/EqualShare into
+// index-aligned slices, recycling its sort scratch across calls — for
+// callers (the sim engines' Che fixed point) that divide bandwidth
+// thousands of times per run. Grants are byte-identical to the map
+// variants': the progressive filling visits demands in the same
+// (want, then JobID) order via an index permutation, which is unique
+// because job IDs are.
+type Divider struct {
+	idx   []int
+	wants []float64
+}
+
+// FairShareInto returns FairShare's grants with grants[i] belonging to
+// demands[i]. The result aliases out's backing array when capacity
+// allows and is valid until the next call.
+//
+// silod:pure
+func (dv *Divider) FairShareInto(out []unit.Bandwidth, capacity unit.Bandwidth, demands []Demand) []unit.Bandwidth {
+	out = out[:0]
+	for range demands {
+		out = append(out, 0)
+	}
 	if capacity <= 0 || len(demands) == 0 {
-		for _, d := range demands {
-			out[d.JobID] = 0
-		}
 		return out
 	}
-	type rec struct {
-		id   string
-		want float64
+	idx := dv.idx[:0]
+	wants := dv.wants[:0]
+	for i, d := range demands {
+		w := float64(d.Want)
+		if w < 0 {
+			w = 0
+		}
+		idx = append(idx, i)
+		wants = append(wants, w)
 	}
-	recs := make([]rec, 0, len(demands))
+	dv.idx, dv.wants = idx, wants
+	sort.Slice(idx, func(a, b int) bool {
+		wa, wb := wants[idx[a]], wants[idx[b]]
+		if wa != wb {
+			return wa < wb
+		}
+		return demands[idx[a]].JobID < demands[idx[b]].JobID
+	})
+	remaining := float64(capacity)
+	left := len(idx)
+	for _, i := range idx {
+		level := remaining / float64(left)
+		grant := wants[i]
+		if grant > level {
+			grant = level
+		}
+		out[i] = unit.Bandwidth(grant)
+		remaining -= grant
+		left--
+	}
+	return out
+}
+
+// EqualShareInto returns EqualShare's grants with grants[i] belonging
+// to demands[i]. The result aliases out's backing array when capacity
+// allows and is valid until the next call.
+//
+// silod:pure
+func (dv *Divider) EqualShareInto(out []unit.Bandwidth, capacity unit.Bandwidth, demands []Demand) []unit.Bandwidth {
+	out = out[:0]
+	if len(demands) == 0 {
+		return out
+	}
+	share := float64(capacity) / float64(len(demands))
 	for _, d := range demands {
 		w := float64(d.Want)
 		if w < 0 {
 			w = 0
 		}
-		recs = append(recs, rec{d.JobID, w})
-	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].want != recs[j].want {
-			return recs[i].want < recs[j].want
+		if w > share {
+			w = share
 		}
-		return recs[i].id < recs[j].id
-	})
-	remaining := float64(capacity)
-	left := len(recs)
-	for _, r := range recs {
-		level := remaining / float64(left)
-		grant := r.want
-		if grant > level {
-			grant = level
-		}
-		out[r.id] = unit.Bandwidth(grant)
-		remaining -= grant
-		left--
+		out = append(out, unit.Bandwidth(w))
 	}
 	return out
 }

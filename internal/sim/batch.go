@@ -98,6 +98,10 @@ type batchSim struct {
 	demandsBuf []float64
 	demandBuf  []remoteio.Demand
 	residBuf   []remoteio.Demand
+	residIdx   []int
+	shareBuf   []unit.Bandwidth
+	divider    remoteio.Divider
+	valScratch core.ValidateScratch
 
 	// Solve-skip memo: the last (effective cluster, views) the policy
 	// solved against and the assignment it produced. Valid only for
@@ -107,6 +111,18 @@ type batchSim struct {
 	lastEff    core.Cluster
 	lastViews  []core.JobView
 	lastAssign core.Assignment
+	// ignoreFields widens the memo from exact-match to delta-aware: it
+	// holds the JobView fields the (pure) policy declares it never
+	// reads (core.DeltaAssigner). Zero for impure policies and in
+	// full-resolve mode.
+	ignoreFields core.ViewFields
+
+	// Event batching: tickEvent is the single armed periodic tick
+	// (re-armed, not stacked, by each round) and roundPending coalesces
+	// same-instant arrivals/completions/faults into one scheduling
+	// round instead of N back-to-back rounds.
+	tickEvent    *eventq.Event
+	roundPending bool
 }
 
 // runBatch executes the batch engine.
@@ -128,6 +144,16 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 	}
 	s.met = newSimMetrics(cfg)
 	s.solvePure = policyPure(cfg.Policy)
+	if fr, ok := cfg.Policy.(core.FullResolver); ok {
+		fr.SetFullResolve(cfg.FullResolve)
+	}
+	if cfg.FullResolve {
+		// Reference mode: every round re-solves from scratch; the
+		// identity tests diff this against the memoized fast path.
+		s.solvePure = false
+	} else {
+		s.ignoreFields = core.PolicyIgnoredFields(cfg.Policy)
+	}
 	// The batch engine drives the real pools, so block-level hit/miss/
 	// eviction counters come straight from the cache package.
 	pm := cache.NewPoolMetrics(cfg.Metrics, cfg.System.String())
@@ -181,9 +207,10 @@ func runBatch(cfg Config, specs []workload.JobSpec) (*Result, error) {
 			total = 1
 		}
 		s.bjobs[spec.ID] = &batchJob{rt: rt, stream: stream, blocks: blocks, blocksTotal: total}
-		// Arrival event triggers a scheduling round.
+		// Arrival event requests a scheduling round; same-instant
+		// arrivals coalesce into one round (see requestRound).
 		submit := float64(spec.Submit)
-		s.q.Schedule(submit, func() { s.reschedule() })
+		s.q.Schedule(submit, func() { s.requestRound() })
 	}
 	s.met.initTenants(s.jobs)
 	s.met.submitAll(s.jobs)
@@ -298,16 +325,20 @@ func (s *batchSim) reschedule() {
 		views[i].CachedBytes = cached
 	}
 	var a core.Assignment
-	if s.solveOK && s.eff == s.lastEff && viewsEqual(views, s.lastViews) {
-		// Pure policy, unchanged inputs: the previous solve's assignment
-		// is still the answer (re-applying it is a no-op on every
-		// observable), so the solve is skipped.
+	if s.solveOK && s.eff == s.lastEff &&
+		core.ViewsEquivalent(views, s.lastViews, s.ignoreFields) {
+		// Pure policy, unchanged relevant inputs: the previous solve's
+		// assignment is still the answer (re-applying it is a no-op on
+		// every observable), so the solve is skipped. Fields in
+		// ignoreFields are ones the policy provably never reads
+		// (core.DeltaAssigner), so e.g. FIFO keeps its memo while jobs
+		// merely make progress between rounds.
 		a = s.lastAssign
 	} else {
 		// Solve and validate against the *effective* capacity so a
 		// post-fault re-solve cannot over-grant GPUs, cache, or bandwidth.
 		a = s.cfg.Policy.Assign(s.eff, now, views)
-		if err := a.Validate(s.eff, views); err != nil {
+		if err := a.ValidateWith(s.eff, views, &s.valScratch); err != nil {
 			panic(fmt.Sprintf("sim(batch): invalid assignment at t=%v from %s: %v", now, s.cfg.Policy.Name(), err))
 		}
 		if s.solvePure {
@@ -382,8 +413,30 @@ func (s *batchSim) reschedule() {
 	s.faultPreempt = false
 	s.refreshRates()
 	s.sample(false)
-	// Re-arm the tick.
-	s.q.After(float64(s.cfg.ReschedInterval), func() { s.reschedule() })
+	// Re-arm the single periodic tick. Cancelling the old one keeps
+	// exactly one tick pending no matter how many event-driven rounds
+	// ran in between; previously every round stacked a fresh tick, so a
+	// burst of completions left a storm of near-simultaneous ticks each
+	// driving a full round.
+	s.q.Cancel(s.tickEvent)
+	s.tickEvent = s.q.After(float64(s.cfg.ReschedInterval), func() { s.requestRound() })
+}
+
+// requestRound schedules at most one scheduling round at the current
+// instant. Arrivals, completions and faults that land at the same
+// simulated time all call this; the first call enqueues the round
+// behind the remaining same-instant events (the queue is FIFO within a
+// timestamp), so the policy solves once against the settled state
+// instead of once per event.
+func (s *batchSim) requestRound() {
+	if s.roundPending {
+		return
+	}
+	s.roundPending = true
+	s.q.Schedule(s.q.Now(), func() {
+		s.roundPending = false
+		s.reschedule()
+	})
 }
 
 // onFault drains the injector's due events into batch state, then runs
@@ -427,7 +480,7 @@ func (s *batchSim) onFault() {
 		}
 	}
 	if applied {
-		s.reschedule()
+		s.requestRound()
 	}
 }
 
@@ -546,10 +599,8 @@ func (s *batchSim) grants(running []*jobRT, hits []float64) []unit.Bandwidth {
 		for i, j := range running {
 			ds[i] = remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(demands[i])}
 		}
-		share := remoteio.EqualShare(s.eff.RemoteIO, ds)
-		for i, j := range running {
-			out[i] = share[j.spec.ID]
-		}
+		s.shareBuf = s.divider.EqualShareInto(s.shareBuf, s.eff.RemoteIO, ds)
+		copy(out, s.shareBuf)
 		return out
 	}
 	if s.cfg.DisableWorkConserving {
@@ -560,19 +611,21 @@ func (s *batchSim) grants(running []*jobRT, hits []float64) []unit.Bandwidth {
 		return out
 	}
 	resid := s.residBuf[:0]
+	residIdx := s.residIdx[:0]
 	for i, j := range running {
 		extra := demands[i] - float64(out[i])
 		if extra > 1e-9 {
 			resid = append(resid, remoteio.Demand{JobID: j.spec.ID, Want: unit.Bandwidth(extra)})
+			residIdx = append(residIdx, i)
 		}
 	}
-	s.residBuf = resid
+	s.residBuf, s.residIdx = resid, residIdx
 	if len(resid) == 0 {
 		return out
 	}
-	share := remoteio.FairShare(unit.Bandwidth(leftover), resid)
-	for i, j := range running {
-		out[i] += share[j.spec.ID]
+	s.shareBuf = s.divider.FairShareInto(s.shareBuf, unit.Bandwidth(leftover), resid)
+	for k, i := range residIdx {
+		out[i] += s.shareBuf[k]
 	}
 	return out
 }
@@ -734,7 +787,7 @@ func (s *batchSim) computeDone(bj *batchJob) {
 			bj.fetchEvent = nil
 		}
 		s.maybeDropDataset(bj.rt)
-		s.reschedule()
+		s.requestRound()
 		return
 	}
 	s.fillLoader(bj)

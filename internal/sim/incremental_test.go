@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/unit"
+	"repro/internal/workload"
+)
+
+// diffResults fails the test unless two results are bitwise identical:
+// every per-job stat, the makespan, the event count, and every timeline
+// sample (times and values compared at the float64 bit level).
+func diffResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("%s: job counts differ: %d vs %d", label, len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("%s: job %d differs:\n  full: %+v\n  incr: %+v", label, i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("%s: makespan %v vs %v", label, a.Makespan, b.Makespan)
+	}
+	if len(a.Timelines) != len(b.Timelines) {
+		t.Fatalf("%s: timeline sets differ: %d vs %d", label, len(a.Timelines), len(b.Timelines))
+	}
+	for name, sa := range a.Timelines {
+		sb := b.Timelines[name]
+		if sb == nil {
+			t.Fatalf("%s: timeline %q missing in incremental run", label, name)
+		}
+		if len(sa.Times) != len(sb.Times) || len(sa.Values) != len(sb.Values) {
+			t.Fatalf("%s: timeline %q lengths differ", label, name)
+		}
+		for i := range sa.Times {
+			if math.Float64bits(sa.Times[i]) != math.Float64bits(sb.Times[i]) {
+				t.Fatalf("%s: timeline %q time[%d]: %v vs %v", label, name, i, sa.Times[i], sb.Times[i])
+			}
+			if math.Float64bits(sa.Values[i]) != math.Float64bits(sb.Values[i]) {
+				t.Fatalf("%s: timeline %q value[%d]: %v vs %v", label, name, i, sa.Values[i], sb.Values[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalByteIdentity is the engine-level gate for the PR's
+// whole incremental-scheduling stack: for every engine × scheduler ×
+// cache-system combination, a run with FullResolve (every round
+// re-solved from scratch) must be bitwise identical to the default
+// incremental run — same jobs, same makespan, same timelines down to
+// the last float64 bit.
+func TestIncrementalByteIdentity(t *testing.T) {
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(11, 40, 3*unit.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.Cluster{GPUs: 24, Cache: unit.TiB(2), RemoteIO: unit.MBpsOf(600)}
+	kinds := []policy.SchedulerKind{policy.FIFOKind, policy.SJFKind, policy.GavelKind}
+	systems := []policy.CacheSystem{policy.SiloD, policy.Alluxio, policy.CoorDL, policy.Quiver}
+	for _, eng := range []Engine{Fluid, Batch} {
+		for _, k := range kinds {
+			for _, cs := range systems {
+				name := fmt.Sprintf("%v_%v_%v", eng, k, cs)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					mk := func(full bool) *Result {
+						pol, err := policy.Build(k, cs, 5)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg := Config{
+							Cluster: cl, Policy: pol, System: cs,
+							Engine: eng, Seed: 9,
+							MetricsInterval: 5 * unit.Minute,
+							FullResolve:     full,
+						}
+						return runSim(t, cfg, jobs)
+					}
+					diffResults(t, name, mk(true), mk(false))
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalByteIdentityEnhancedGavel covers Gavel's pure
+// TotalThroughput objective — the configuration whose solve rounds the
+// delta memo actually skips — on both engines.
+func TestIncrementalByteIdentityEnhancedGavel(t *testing.T) {
+	jobs, err := workload.Generate(workload.DefaultTraceConfig(13, 32, 2*unit.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.Cluster{GPUs: 16, Cache: unit.TiB(1), RemoteIO: unit.MBpsOf(400)}
+	for _, eng := range []Engine{Fluid, Batch} {
+		t.Run(fmt.Sprintf("%v", eng), func(t *testing.T) {
+			t.Parallel()
+			mk := func(full bool) *Result {
+				pol, err := policy.Build(policy.GavelKind, policy.SiloD, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pol.(*policy.Gavel).Objective = policy.TotalThroughput
+				cfg := Config{
+					Cluster: cl, Policy: pol, System: policy.SiloD,
+					Engine: eng, Seed: 4,
+					MetricsInterval: 5 * unit.Minute,
+					FullResolve:     full,
+				}
+				return runSim(t, cfg, jobs)
+			}
+			diffResults(t, "gavel-tput", mk(true), mk(false))
+		})
+	}
+}

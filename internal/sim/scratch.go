@@ -15,10 +15,11 @@ func resize[T any](buf *[]T, n int) []T {
 	return *buf
 }
 
-// viewsEqual reports element-wise equality of two job-view slices.
-// core.JobView is comparable (all fields are value types), so == is a
-// full deep comparison.
-func viewsEqual(a, b []core.JobView) bool {
+// samePtrs reports whether two pointer slices hold the same elements in
+// the same order. Identity (not value) comparison is what the rate memo
+// wants: runtime job state lives behind these pointers, and state
+// changes are tracked separately via the rate generation counter.
+func samePtrs[T any](a, b []*T) bool {
 	if len(a) != len(b) {
 		return false
 	}

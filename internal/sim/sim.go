@@ -69,6 +69,12 @@ type Config struct {
 	MetricsInterval unit.Duration
 	// Seed drives all stochastic elements (eviction, shuffles).
 	Seed int64
+	// FullResolve disables the incremental-scheduling fast paths (the
+	// delta-aware solve-skip memo, warm-started max-min bisection and
+	// the per-step rate memo), forcing a from-scratch solve every round.
+	// Results are byte-identical either way — this is the reference
+	// trajectory the identity tests diff the fast paths against.
+	FullResolve bool
 	// MaxSimTime aborts runaway simulations; zero means 10 simulated
 	// years.
 	MaxSimTime unit.Duration

@@ -42,6 +42,7 @@ type pr5File struct {
 	Description string      `json:"description"`
 	Seed        int64       `json:"seed"`
 	Cores       int         `json:"cores"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
 	Workers     int         `json:"workers"`
 	Timings     []pr5Timing `json:"timings"`
 	PairSpeedup float64     `json:"pair_speedup"`
@@ -88,10 +89,13 @@ func TestEmitBenchPR5(t *testing.T) {
 	}
 	const seed = 42
 	workers := runtime.NumCPU()
+	// Cores and GoMaxProcs are sampled at measurement time, not assumed:
+	// the committed artifact must say what machine produced it.
 	out := pr5File{
 		Description: "wall-clock and allocation effects of the parallel experiment runner and simulator hot-path optimization",
 		Seed:        seed,
 		Cores:       runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
 	}
 
@@ -108,15 +112,20 @@ func TestEmitBenchPR5(t *testing.T) {
 			return err
 		}},
 	}
+	// Both arms run with FullResolve so the artifact keeps measuring
+	// what it always measured — the worker pool's effect on per-round
+	// re-solves. With the PR-10 incremental path on, the memo would
+	// shrink both arms and the pair speedup would reflect how often the
+	// memo hits, not the pool.
 	var seqTotal, parTotal float64
 	for _, a := range arms {
 		t0 := time.Now()
-		if err := a.run(experiments.Options{Seed: seed, Sequential: true}); err != nil {
+		if err := a.run(experiments.Options{Seed: seed, Sequential: true, FullResolve: true}); err != nil {
 			t.Fatalf("%s sequential: %v", a.name, err)
 		}
 		seq := time.Since(t0).Seconds()
 		t0 = time.Now()
-		if err := a.run(experiments.Options{Seed: seed, Workers: workers}); err != nil {
+		if err := a.run(experiments.Options{Seed: seed, Workers: workers, FullResolve: true}); err != nil {
 			t.Fatalf("%s parallel: %v", a.name, err)
 		}
 		par := time.Since(t0).Seconds()
@@ -197,10 +206,17 @@ func TestEmitBenchPR5(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if runtime.NumCPU() >= 4 && out.PairSpeedup < 2.5 {
+	t.Logf("pair speedup %.2fx on %d cores (GOMAXPROCS %d); FIFO steady-state %d -> %d allocs/op; eventq %d allocs/op",
+		out.PairSpeedup, runtime.NumCPU(), runtime.GOMAXPROCS(0), unpooled.AllocsPerOp(), pooled.AllocsPerOp(), heap.AllocsPerOp())
+	if runtime.NumCPU() < 4 || runtime.GOMAXPROCS(0) < 4 {
+		// Skip, don't trivially pass: parallel arms multiplex onto the
+		// same cores here, so the >=2.5x claim is untestable — the honest
+		// numbers are in the artifact and the skip is visible in the run.
+		t.Skipf("pair-speedup assertion needs >=4 schedulable cores (NumCPU %d, GOMAXPROCS %d); artifact written without the gate",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	if out.PairSpeedup < 2.5 {
 		t.Errorf("Figure10+Figure12 pair speedup %.2fx on %d cores, want >=2.5x",
 			out.PairSpeedup, runtime.NumCPU())
 	}
-	t.Logf("pair speedup %.2fx on %d cores; FIFO steady-state %d -> %d allocs/op; eventq %d allocs/op",
-		out.PairSpeedup, runtime.NumCPU(), unpooled.AllocsPerOp(), pooled.AllocsPerOp(), heap.AllocsPerOp())
 }
